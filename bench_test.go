@@ -1,0 +1,497 @@
+// Benchmarks that regenerate the paper's evaluation (one benchmark per table
+// and figure) plus ablation benches for the design choices called out in
+// DESIGN.md. Key result quantities are attached to every benchmark run via
+// b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the same rows/series the paper reports alongside the runtime cost
+// of producing them.
+package thermplace_test
+
+import (
+	"sync"
+	"testing"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+	"thermplace/internal/congestion"
+	"thermplace/internal/core"
+	"thermplace/internal/flow"
+	"thermplace/internal/geom"
+	"thermplace/internal/hotspot"
+	"thermplace/internal/logicsim"
+	"thermplace/internal/netlist"
+	"thermplace/internal/place"
+	"thermplace/internal/power"
+	"thermplace/internal/spice"
+	"thermplace/internal/thermal"
+	"thermplace/internal/timing"
+)
+
+// The paper-sized benchmark is expensive to generate and place, so it is
+// built once and shared (read-only) by all benchmarks.
+var (
+	paperOnce   sync.Once
+	paperDesign *netlist.Design
+)
+
+func paperBenchmark(b *testing.B) *netlist.Design {
+	b.Helper()
+	paperOnce.Do(func() {
+		d, err := bench.Generate(celllib.Default65nm(), bench.DefaultConfig())
+		if err != nil {
+			b.Fatalf("generating paper benchmark: %v", err)
+		}
+		paperDesign = d
+	})
+	return paperDesign
+}
+
+func paperFlow(b *testing.B, wl bench.Workload) *flow.Flow {
+	b.Helper()
+	cfg := flow.DefaultConfig()
+	return flow.New(paperBenchmark(b), wl, cfg)
+}
+
+// BenchmarkFig5_Profiles regenerates Figure 5: the power and thermal
+// profiles of test set 1 (four scattered small hotspots) on the 40x40 grid.
+// Reported metrics: total power (mW), peak temperature rise (C), detected
+// hotspots.
+func BenchmarkFig5_Profiles(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	var an *flow.Analysis
+	for i := 0; i < b.N; i++ {
+		var err error
+		an, err = f.AnalyzeBaseline()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(an.Power.Total()*1e3, "power_mW")
+	b.ReportMetric(an.Thermal.PeakRise, "peak_rise_C")
+	b.ReportMetric(float64(len(an.Hotspots)), "hotspots")
+	b.ReportMetric(an.Thermal.GradientC, "gradient_C")
+}
+
+// BenchmarkFig6_EfficiencySweep regenerates Figure 6: temperature reduction
+// versus area overhead for the Default, ERI and HW strategies on the
+// scattered-hotspot workload. Reported metrics: the reduction (in percent)
+// of each strategy at roughly 16% and 32% area overhead.
+func BenchmarkFig6_EfficiencySweep(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	opts := core.SweepOptions{Overheads: []float64{0.16, 0.32}}
+	var res *core.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.SweepEfficiency(f, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report := func(s core.Strategy, label string) {
+		pts := res.PointsFor(s)
+		for i, p := range pts {
+			suffix := "16"
+			if i == 1 {
+				suffix = "32"
+			}
+			b.ReportMetric(p.TempReduction*100, label+suffix+"_pct")
+		}
+	}
+	report(core.StrategyDefault, "default")
+	report(core.StrategyERI, "eri")
+	report(core.StrategyHW, "hw")
+}
+
+// BenchmarkTable1_ConcentratedHotspot regenerates Table I: Default versus
+// ERI on the single large concentrated hotspot at the paper's two area
+// overheads (16.1% with 20 rows and 32.2% with 40 rows).
+func BenchmarkTable1_ConcentratedHotspot(b *testing.B) {
+	f := paperFlow(b, bench.ConcentratedLargeHotspot())
+	var res *core.ConcentratedResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.ConcentratedExperiment(f, core.DefaultConcentratedOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	labels := []string{"default16_pct", "default32_pct", "eri20rows_pct", "eri40rows_pct"}
+	for i, row := range res.Rows {
+		if i < len(labels) {
+			b.ReportMetric(row.TempReduction*100, labels[i])
+		}
+	}
+}
+
+// BenchmarkTimingOverhead measures the claim from Section IV that the
+// transforms cost "around 2%" in timing: the critical-path increase of an
+// ERI placement at ~32% area overhead over the compact baseline.
+func BenchmarkTimingOverhead(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseT, err := timing.Analyze(paperBenchmark(b), base.Placement, timing.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := core.RowsForAreaOverhead(base.Placement, 0.32)
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		eriP, err := core.EmptyRowInsertion(base.Placement, base.Hotspots, core.DefaultERIOptions(rows))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eriT, err := timing.Analyze(paperBenchmark(b), eriP, timing.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		overhead = timing.Overhead(baseT, eriT)
+	}
+	b.ReportMetric(baseT.CriticalPathPs, "base_path_ps")
+	b.ReportMetric(overhead*100, "timing_overhead_pct")
+}
+
+// BenchmarkCongestionByproduct quantifies the Section III-A remark that
+// empty-row insertion reduces routing congestion in the hotspot region.
+func BenchmarkCongestionByproduct(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := core.RowsForAreaOverhead(base.Placement, 0.16)
+	var before, after *congestion.Report
+	for i := 0; i < b.N; i++ {
+		before = congestion.Estimate(base.Placement, congestion.DefaultOptions())
+		eriP, err := core.EmptyRowInsertion(base.Placement, base.Hotspots, core.DefaultERIOptions(rows))
+		if err != nil {
+			b.Fatal(err)
+		}
+		after = congestion.Estimate(eriP, congestion.DefaultOptions())
+	}
+	region := base.Hotspots[0].Rect
+	b.ReportMetric(before.RegionUtilization(region), "hotspot_congestion_before")
+	b.ReportMetric(after.RegionUtilization(region), "hotspot_congestion_after")
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) -------------
+
+// BenchmarkAblation_Solvers compares the three linear solvers on the same
+// mid-sized thermal network (correctness is asserted in the spice and
+// thermal unit tests; this reports their cost).
+func BenchmarkAblation_Solvers(b *testing.B) {
+	pm := geom.NewGrid(20, 20, geom.Rect{Xlo: 0, Ylo: 0, Xhi: 200, Yhi: 200})
+	pm.Fill(0.02 / 400)
+	for iy := 8; iy < 12; iy++ {
+		for ix := 8; ix < 12; ix++ {
+			pm.Add(ix, iy, 0.01/16)
+		}
+	}
+	for _, m := range []spice.Method{spice.MethodCG, spice.MethodGaussSeidel, spice.MethodDense} {
+		b.Run(m.String(), func(b *testing.B) {
+			cfg := thermal.DefaultConfig()
+			cfg.NX, cfg.NY = 20, 20
+			cfg.Stack = thermal.Stack{
+				{Name: "si", Thickness: 60, Conductivity: 110},
+				{Name: "active", Thickness: 5, Conductivity: 80, Power: true},
+				{Name: "beol", Thickness: 20, Conductivity: 2},
+			}
+			cfg.Solver = m
+			var res *thermal.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = thermal.Solve(pm, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.PeakRise, "peak_rise_C")
+			b.ReportMetric(float64(res.Iterations), "iterations")
+		})
+	}
+}
+
+// BenchmarkAblation_HotspotThreshold sweeps the hotspot-detection threshold
+// and reports how many hotspots the scattered workload produces and how much
+// an ERI pass targeted at them achieves.
+func BenchmarkAblation_HotspotThreshold(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := core.RowsForAreaOverhead(base.Placement, 0.24)
+	for _, frac := range []float64{0.3, 0.5, 0.7, 0.9} {
+		b.Run(fracName(frac), func(b *testing.B) {
+			spots := hotspot.Detect(base.Thermal.RiseMap(), hotspot.Options{ThresholdFrac: frac, MinCells: 2})
+			if len(spots) == 0 {
+				b.Skip("no hotspots at this threshold")
+			}
+			var red float64
+			for i := 0; i < b.N; i++ {
+				p, err := core.EmptyRowInsertion(base.Placement, spots, core.DefaultERIOptions(rows))
+				if err != nil {
+					b.Fatal(err)
+				}
+				an, err := f.Analyze(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				red = (base.Thermal.PeakRise - an.Thermal.PeakRise) / base.Thermal.PeakRise
+			}
+			b.ReportMetric(float64(len(spots)), "hotspots")
+			b.ReportMetric(red*100, "eri_reduction_pct")
+		})
+	}
+}
+
+func fracName(f float64) string {
+	switch f {
+	case 0.3:
+		return "frac=0.3"
+	case 0.5:
+		return "frac=0.5"
+	case 0.7:
+		return "frac=0.7"
+	default:
+		return "frac=0.9"
+	}
+}
+
+// BenchmarkAblation_ERIPolicy compares the paper's interleaved empty-row
+// insertion against inserting the same rows as one contiguous block.
+func BenchmarkAblation_ERIPolicy(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := core.RowsForAreaOverhead(base.Placement, 0.24)
+	for _, interleave := range []bool{true, false} {
+		name := "interleaved"
+		if !interleave {
+			name = "block"
+		}
+		b.Run(name, func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				p, err := core.EmptyRowInsertion(base.Placement, base.Hotspots,
+					core.ERIOptions{Rows: rows, Interleave: interleave})
+				if err != nil {
+					b.Fatal(err)
+				}
+				an, err := f.Analyze(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				red = (base.Thermal.PeakRise - an.Thermal.PeakRise) / base.Thermal.PeakRise
+			}
+			b.ReportMetric(red*100, "reduction_pct")
+		})
+	}
+}
+
+// BenchmarkAblation_WrapperWidth sweeps the whitespace-ring width of the
+// hotspot wrapper on a relaxed placement.
+func BenchmarkAblation_WrapperWidth(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	relaxed, err := f.PlaceAt(f.Config.Utilization / 1.24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defAn, err := f.Analyze(relaxed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spots := hotspot.Detect(defAn.Thermal.RiseMap(), hotspot.Options{ThresholdFrac: 0.75, MinCells: 2})
+	if len(spots) == 0 {
+		b.Skip("no tight hotspots on the relaxed placement")
+	}
+	powerOf := func(inst *netlist.Instance) float64 { return defAn.Power.InstancePower(inst) }
+	for _, ringRows := range []float64{1, 2, 4} {
+		b.Run(ringName(ringRows), func(b *testing.B) {
+			var red float64
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultWrapperOptions(powerOf)
+				opts.RingWidth = ringRows * relaxed.FP.RowHeight
+				p, err := core.HotspotWrapper(relaxed, spots, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				an, err := f.Analyze(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				red = (base.Thermal.PeakRise - an.Thermal.PeakRise) / base.Thermal.PeakRise
+			}
+			b.ReportMetric(red*100, "reduction_pct")
+		})
+	}
+}
+
+func ringName(rows float64) string {
+	switch rows {
+	case 1:
+		return "ring=1row"
+	case 2:
+		return "ring=2rows"
+	default:
+		return "ring=4rows"
+	}
+}
+
+// BenchmarkAblation_GridResolution compares thermal-grid resolutions against
+// the paper's 40x40 choice.
+func BenchmarkAblation_GridResolution(b *testing.B) {
+	design := paperBenchmark(b)
+	wl := bench.ScatteredSmallHotspots()
+	for _, n := range []int{20, 40, 64} {
+		b.Run(gridName(n), func(b *testing.B) {
+			cfg := flow.DefaultConfig()
+			cfg.Thermal.NX = n
+			cfg.Thermal.NY = n
+			f := flow.New(design, wl, cfg)
+			var an *flow.Analysis
+			for i := 0; i < b.N; i++ {
+				var err error
+				an, err = f.AnalyzeBaseline()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(an.Thermal.PeakRise, "peak_rise_C")
+			b.ReportMetric(float64(len(an.Hotspots)), "hotspots")
+		})
+	}
+}
+
+func gridName(n int) string {
+	switch n {
+	case 20:
+		return "grid=20x20"
+	case 40:
+		return "grid=40x40"
+	default:
+		return "grid=64x64"
+	}
+}
+
+// --- Component micro-benchmarks --------------------------------------------
+
+// BenchmarkPlacement12kCells measures placing the full paper benchmark.
+func BenchmarkPlacement12kCells(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	for i := 0; i < b.N; i++ {
+		if _, err := f.PlaceAt(0.85); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThermalSolve40x40x9 measures one steady-state solve of the
+// paper's thermal grid.
+func BenchmarkThermalSolve40x40x9(b *testing.B) {
+	cfg := thermal.DefaultConfig()
+	pm := geom.NewGrid(cfg.NX, cfg.NY, geom.Rect{Xlo: 0, Ylo: 0, Xhi: 224, Yhi: 226})
+	pm.Fill(0.025 / float64(cfg.NX*cfg.NY))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := thermal.Solve(pm, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogicSimActivity measures random-vector activity extraction on
+// the paper benchmark (128 cycles).
+func BenchmarkLogicSimActivity(b *testing.B) {
+	design := paperBenchmark(b)
+	wl := bench.ScatteredSmallHotspots()
+	stim := logicsim.RandomStimulus(1, func(port string) float64 {
+		return wl.ActivityFor(splitUnit(port))
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := logicsim.RunRandom(design, 128, stim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func splitUnit(port string) string {
+	for i := 0; i < len(port); i++ {
+		if port[i] == '_' {
+			return port[:i]
+		}
+	}
+	return port
+}
+
+// BenchmarkPowerEstimation measures per-cell power estimation plus power-map
+// binning on a placed paper benchmark.
+func BenchmarkPowerEstimation(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	p, err := f.Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	act, err := f.Activity()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := power.Estimate(paperBenchmark(b), p, act, 1e9)
+		power.Map(rep, p, 40, 40)
+	}
+}
+
+// BenchmarkSTA measures a full static timing analysis of the placed paper
+// benchmark.
+func BenchmarkSTA(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	p, err := f.Baseline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep *timing.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = timing.Analyze(paperBenchmark(b), p, timing.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.CriticalPathPs, "critical_path_ps")
+}
+
+// BenchmarkBenchmarkGeneration measures building the 12k-cell netlist.
+func BenchmarkBenchmarkGeneration(b *testing.B) {
+	lib := celllib.Default65nm()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Generate(lib, bench.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFillerInsertion measures whitespace filling with dummy cells.
+func BenchmarkFillerInsertion(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	p, err := f.PlaceAt(0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		place.InsertFillers(p)
+	}
+}

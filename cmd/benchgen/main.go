@@ -1,0 +1,141 @@
+// Command benchgen generates the synthetic benchmark circuits used by the
+// experiments: a gate-level Verilog-lite netlist composed of arithmetic
+// units (the paper's circuit has nine units and about 12,000 cells) plus the
+// Liberty-lite cell library it references.
+//
+// Usage:
+//
+//	benchgen -out design.v -lib library.lib            # paper benchmark
+//	benchgen -small -out small.v                       # reduced benchmark
+//	benchgen -units mult:32,mult:16,alu:32 -out my.v   # custom unit list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+	"thermplace/internal/netlist"
+)
+
+func main() {
+	var (
+		outPath  = flag.String("out", "design.v", "output Verilog-lite netlist path")
+		libPath  = flag.String("lib", "", "optional output path for the Liberty-lite cell library")
+		small    = flag.Bool("small", false, "generate the reduced benchmark instead of the paper-sized one")
+		units    = flag.String("units", "", "custom comma-separated unit list, e.g. mult:32,adder:16,alu:8,mac:16,cmp:32,csadd:64")
+		clockGHz = flag.Float64("clock", 1.0, "clock frequency in GHz (recorded in the summary only)")
+		quiet    = flag.Bool("q", false, "suppress the summary printed to stdout")
+	)
+	flag.Parse()
+
+	lib := celllib.Default65nm()
+	cfg, err := buildConfig(*small, *units, *clockGHz)
+	if err != nil {
+		fatal(err)
+	}
+	design, err := bench.Generate(lib, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	out, err := os.Create(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer out.Close()
+	if err := netlist.WriteVerilog(out, design); err != nil {
+		fatal(err)
+	}
+
+	if *libPath != "" {
+		lf, err := os.Create(*libPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer lf.Close()
+		if err := celllib.WriteLiberty(lf, lib); err != nil {
+			fatal(err)
+		}
+	}
+
+	if !*quiet {
+		fmt.Printf("design   : %s\n", design.Name)
+		fmt.Printf("cells    : %d\n", design.NumInstances())
+		fmt.Printf("nets     : %d\n", design.NumNets())
+		fmt.Printf("cell area: %.1f um^2\n", design.TotalCellArea())
+		fmt.Printf("clock    : %.2f GHz\n", cfg.ClockGHz)
+		fmt.Printf("units    :\n")
+		for _, u := range design.Units() {
+			fmt.Printf("  %-10s %6d cells\n", u, len(design.InstancesInUnit(u)))
+		}
+		fmt.Printf("written  : %s\n", *outPath)
+		if *libPath != "" {
+			fmt.Printf("library  : %s\n", *libPath)
+		}
+	}
+}
+
+// buildConfig resolves the flags into a benchmark configuration.
+func buildConfig(small bool, units string, clockGHz float64) (bench.Config, error) {
+	switch {
+	case units != "":
+		cfg := bench.Config{Name: "custom", ClockGHz: clockGHz}
+		for i, spec := range strings.Split(units, ",") {
+			parts := strings.SplitN(strings.TrimSpace(spec), ":", 2)
+			if len(parts) != 2 {
+				return cfg, fmt.Errorf("benchgen: unit spec %q must look like kind:width", spec)
+			}
+			width, err := strconv.Atoi(parts[1])
+			if err != nil || width <= 0 {
+				return cfg, fmt.Errorf("benchgen: bad width in unit spec %q", spec)
+			}
+			kind, err := parseKind(parts[0])
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Units = append(cfg.Units, bench.UnitSpec{
+				Name:  fmt.Sprintf("%s%d_u%d", parts[0], width, i),
+				Kind:  kind,
+				Width: width,
+			})
+		}
+		return cfg, nil
+	case small:
+		cfg := bench.SmallConfig()
+		cfg.ClockGHz = clockGHz
+		return cfg, nil
+	default:
+		cfg := bench.DefaultConfig()
+		cfg.ClockGHz = clockGHz
+		return cfg, nil
+	}
+}
+
+func parseKind(s string) (bench.UnitKind, error) {
+	switch strings.ToLower(s) {
+	case "mult", "multiplier":
+		return bench.KindMultiplier, nil
+	case "adder", "add", "rca":
+		return bench.KindRippleAdder, nil
+	case "csadd", "csa", "carryselect":
+		return bench.KindCarrySelectAdder, nil
+	case "mac":
+		return bench.KindMAC, nil
+	case "alu":
+		return bench.KindALU, nil
+	case "cmp", "comparator":
+		return bench.KindComparator, nil
+	default:
+		return 0, fmt.Errorf("benchgen: unknown unit kind %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,216 @@
+// Command thermflow runs the full analysis pipeline of the paper's Figure 2
+// on a gate-level design: placement at a chosen utilization, random-vector
+// logic simulation for switching activity, power estimation, steady-state
+// thermal simulation on the 3-D RC grid, and hotspot localization.
+//
+// The design can be read from a Verilog-lite netlist (see cmd/benchgen) or
+// generated on the fly with -bench. Results are printed as a report; the
+// power and thermal maps, the placement (DEF-lite) and the thermal network
+// (SPICE deck) can optionally be written to files.
+//
+// Usage:
+//
+//	thermflow -bench paper -workload scattered -util 0.85
+//	thermflow -netlist design.v -lib library.lib -workload uniform:0.3 \
+//	          -def out.def -thermal-map thermal.txt -power-map power.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+	"thermplace/internal/congestion"
+	"thermplace/internal/def"
+	"thermplace/internal/flow"
+	"thermplace/internal/netlist"
+	"thermplace/internal/spice"
+	"thermplace/internal/thermal"
+	"thermplace/internal/timing"
+)
+
+func main() {
+	var (
+		netlistPath = flag.String("netlist", "", "Verilog-lite netlist to analyze (alternative to -bench)")
+		libPath     = flag.String("lib", "", "Liberty-lite cell library (defaults to the built-in 65nm library)")
+		benchName   = flag.String("bench", "paper", "built-in benchmark to generate when no netlist is given: paper or small")
+		workload    = flag.String("workload", "scattered", "workload: scattered, concentrated, or uniform:<activity>")
+		util        = flag.Float64("util", 0.85, "placement utilization factor")
+		cycles      = flag.Int("cycles", 128, "random simulation cycles for activity extraction")
+		seed        = flag.Int64("seed", 1, "random stimulus seed")
+		gridN       = flag.Int("grid", 40, "thermal grid resolution per side (the paper uses 40)")
+		defOut      = flag.String("def", "", "write the placement as DEF-lite to this path")
+		spiceOut    = flag.String("spice", "", "write the thermal RC network as a SPICE deck to this path")
+		thermalOut  = flag.String("thermal-map", "", "write the thermal map (matrix of degrees C) to this path")
+		powerOut    = flag.String("power-map", "", "write the power map (matrix of watts per cell) to this path")
+		heat        = flag.Bool("heatmap", false, "print an ASCII heat map of the die to stdout")
+		withTiming  = flag.Bool("timing", true, "run static timing analysis")
+		withCongest = flag.Bool("congestion", true, "run the routing congestion estimate")
+	)
+	flag.Parse()
+
+	lib, err := loadLibrary(*libPath)
+	if err != nil {
+		fatal(err)
+	}
+	design, err := loadDesign(*netlistPath, *benchName, lib)
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := parseWorkload(*workload)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := flow.DefaultConfig()
+	cfg.Utilization = *util
+	cfg.SimCycles = *cycles
+	cfg.Seed = *seed
+	cfg.Thermal.NX = *gridN
+	cfg.Thermal.NY = *gridN
+	f := flow.New(design, wl, cfg)
+
+	an, err := f.AnalyzeBaseline()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("design            : %s (%d cells, %d nets)\n", design.Name, design.NumInstances(), design.NumNets())
+	fmt.Printf("workload          : %s\n", wl.Name)
+	fmt.Printf("core              : %.1f x %.1f um (utilization %.2f)\n",
+		an.Placement.FP.Core.W(), an.Placement.FP.Core.H(), an.Placement.Utilization())
+	bd := an.Power.TotalBreakdown()
+	fmt.Printf("total power       : %.3f mW (internal %.3f, load %.3f, clock %.3f, leakage %.3f)\n",
+		an.Power.Total()*1e3, bd.Internal*1e3, bd.Load*1e3, bd.Clock*1e3, bd.Leakage*1e3)
+	fmt.Printf("ambient           : %.1f C\n", an.Thermal.AmbientC)
+	fmt.Printf("peak temperature  : %.2f C (rise %.2f C)\n", an.Thermal.PeakC, an.Thermal.PeakRise)
+	fmt.Printf("mean temperature  : %.2f C\n", an.Thermal.MeanC())
+	fmt.Printf("max gradient      : %.3f C between adjacent grid cells\n", an.Thermal.GradientC)
+	fmt.Printf("hotspots          : %d\n", len(an.Hotspots))
+	for _, h := range an.Hotspots {
+		fmt.Printf("  #%d rise %.2f C, area %.0f um^2 (%.1f%% of core), bbox %v\n",
+			h.ID, h.PeakRise, h.AreaUm2, 100*h.FracOfArea(an.Placement.FP.Core), h.Rect)
+	}
+
+	if *withTiming {
+		topts := timing.DefaultOptions()
+		topts.TemperatureMap = an.Thermal.Surface
+		rep, err := timing.Analyze(design, an.Placement, topts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("critical path     : %.1f ps (max %.3f GHz, slack %.1f ps at 1 GHz)\n",
+			rep.CriticalPathPs, rep.MaxFrequencyGHz, rep.SlackPs)
+	}
+	if *withCongest {
+		rep := congestion.Estimate(an.Placement, congestion.DefaultOptions())
+		fmt.Printf("wirelength        : %.0f um\n", rep.TotalWirelength)
+		fmt.Printf("congestion        : mean %.3f, max %.3f, %d overflowing bins\n",
+			rep.MeanUtilization, rep.MaxUtilization, rep.Overflows)
+	}
+	if *heat {
+		fmt.Println("thermal heat map (hot = @):")
+		fmt.Print(an.Thermal.Surface.ASCIIHeatmap())
+	}
+
+	if *defOut != "" {
+		if err := writeFile(*defOut, func(f *os.File) error { return def.Write(f, an.Placement) }); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("placement written : %s\n", *defOut)
+	}
+	if *spiceOut != "" {
+		circuit, err := thermal.BuildNetwork(an.PowerMap, cfg.Thermal)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeFile(*spiceOut, func(f *os.File) error {
+			return spice.WriteDeck(f, circuit, "thermal RC network for "+design.Name)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("spice deck written: %s\n", *spiceOut)
+	}
+	if *thermalOut != "" {
+		if err := os.WriteFile(*thermalOut, []byte(an.Thermal.Surface.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("thermal map       : %s\n", *thermalOut)
+	}
+	if *powerOut != "" {
+		if err := os.WriteFile(*powerOut, []byte(an.PowerMap.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("power map         : %s\n", *powerOut)
+	}
+}
+
+func loadLibrary(path string) (*celllib.Library, error) {
+	if path == "" {
+		return celllib.Default65nm(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return celllib.ParseLiberty(f)
+}
+
+func loadDesign(netlistPath, benchName string, lib *celllib.Library) (*netlist.Design, error) {
+	if netlistPath != "" {
+		f, err := os.Open(netlistPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseVerilog(f, lib)
+	}
+	switch benchName {
+	case "paper":
+		return bench.Generate(lib, bench.DefaultConfig())
+	case "small":
+		return bench.Generate(lib, bench.SmallConfig())
+	default:
+		return nil, fmt.Errorf("unknown built-in benchmark %q (want paper or small)", benchName)
+	}
+}
+
+func parseWorkload(s string) (bench.Workload, error) {
+	switch {
+	case s == "scattered":
+		return bench.ScatteredSmallHotspots(), nil
+	case s == "concentrated":
+		return bench.ConcentratedLargeHotspot(), nil
+	case strings.HasPrefix(s, "uniform"):
+		activity := 0.25
+		if parts := strings.SplitN(s, ":", 2); len(parts) == 2 {
+			v, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return bench.Workload{}, fmt.Errorf("bad uniform activity %q", parts[1])
+			}
+			activity = v
+		}
+		return bench.UniformWorkload(activity), nil
+	default:
+		return bench.Workload{}, fmt.Errorf("unknown workload %q (want scattered, concentrated or uniform:<a>)", s)
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermflow:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,203 @@
+// Command thermopt is the paper's "area management tool": it takes a design
+// and workload, measures the baseline placement, and applies one of the
+// post-placement temperature-reduction strategies (default utilization
+// relaxation, empty row insertion, or hotspot wrapper), reporting the peak
+// temperature before and after and the area and timing overheads.
+//
+// Usage:
+//
+//	thermopt -bench paper -workload scattered -strategy eri  -rows 20
+//	thermopt -bench paper -workload concentrated -strategy default -overhead 0.32
+//	thermopt -bench paper -workload scattered -strategy hw -overhead 0.16 -def-out hw.def
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+	"thermplace/internal/core"
+	"thermplace/internal/def"
+	"thermplace/internal/flow"
+	"thermplace/internal/netlist"
+	"thermplace/internal/place"
+	"thermplace/internal/timing"
+)
+
+func main() {
+	var (
+		netlistPath = flag.String("netlist", "", "Verilog-lite netlist to optimize (alternative to -bench)")
+		libPath     = flag.String("lib", "", "Liberty-lite cell library (defaults to the built-in 65nm library)")
+		benchName   = flag.String("bench", "paper", "built-in benchmark when no netlist is given: paper or small")
+		workloadStr = flag.String("workload", "scattered", "workload: scattered, concentrated, or uniform:<activity>")
+		strategyStr = flag.String("strategy", "eri", "strategy to apply: default, eri or hw")
+		util        = flag.Float64("util", 0.85, "baseline placement utilization")
+		rows        = flag.Int("rows", 0, "empty rows to insert (ERI); 0 derives the count from -overhead")
+		overhead    = flag.Float64("overhead", 0.16, "target fractional area overhead (default/hw, and eri when -rows is 0)")
+		gridN       = flag.Int("grid", 40, "thermal grid resolution per side")
+		cycles      = flag.Int("cycles", 128, "random simulation cycles")
+		seed        = flag.Int64("seed", 1, "random stimulus seed")
+		defOut      = flag.String("def-out", "", "write the optimized placement as DEF-lite to this path")
+	)
+	flag.Parse()
+
+	lib, err := loadLibrary(*libPath)
+	if err != nil {
+		fatal(err)
+	}
+	design, err := loadDesign(*netlistPath, *benchName, lib)
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := parseWorkload(*workloadStr)
+	if err != nil {
+		fatal(err)
+	}
+	strategy, err := core.ParseStrategy(*strategyStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := flow.DefaultConfig()
+	cfg.Utilization = *util
+	cfg.SimCycles = *cycles
+	cfg.Seed = *seed
+	cfg.Thermal.NX = *gridN
+	cfg.Thermal.NY = *gridN
+	f := flow.New(design, wl, cfg)
+
+	fmt.Printf("analyzing baseline at utilization %.2f ...\n", *util)
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline: core %.1f x %.1f um, power %.2f mW, peak rise %.3f C, %d hotspots\n",
+		base.Placement.FP.Core.W(), base.Placement.FP.Core.H(),
+		base.Power.Total()*1e3, base.Thermal.PeakRise, len(base.Hotspots))
+	if len(base.Hotspots) == 0 {
+		fatal(fmt.Errorf("no hotspots detected; nothing to optimize"))
+	}
+	baseTiming, err := timing.Analyze(design, base.Placement, timing.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+
+	var optimized *place.Placement
+	switch strategy {
+	case core.StrategyDefault:
+		optimized, err = f.PlaceAt(*util / (1 + *overhead))
+	case core.StrategyERI:
+		n := *rows
+		if n <= 0 {
+			n = core.RowsForAreaOverhead(base.Placement, *overhead)
+		}
+		fmt.Printf("inserting %d empty rows at the hotspots ...\n", n)
+		optimized, err = core.EmptyRowInsertion(base.Placement, base.Hotspots, core.DefaultERIOptions(n))
+	case core.StrategyHW:
+		relaxed, perr := f.PlaceAt(*util / (1 + *overhead))
+		if perr != nil {
+			fatal(perr)
+		}
+		relAn, perr := f.Analyze(relaxed)
+		if perr != nil {
+			fatal(perr)
+		}
+		powerOf := func(inst *netlist.Instance) float64 { return relAn.Power.InstancePower(inst) }
+		fmt.Printf("wrapping %d hotspots on the relaxed placement ...\n", len(relAn.Hotspots))
+		optimized, err = core.HotspotWrapper(relaxed, relAn.Hotspots, core.DefaultWrapperOptions(powerOf))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	after, err := f.Analyze(optimized)
+	if err != nil {
+		fatal(err)
+	}
+	afterTiming, err := timing.Analyze(design, optimized, timing.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+
+	areaOv := optimized.FP.CoreArea()/base.Placement.FP.CoreArea() - 1
+	tempRed := (base.Thermal.PeakRise - after.Thermal.PeakRise) / base.Thermal.PeakRise
+	fmt.Printf("\nstrategy          : %s\n", strategy)
+	fmt.Printf("core              : %.1f x %.1f um\n", optimized.FP.Core.W(), optimized.FP.Core.H())
+	fmt.Printf("area overhead     : %.1f%%\n", areaOv*100)
+	fmt.Printf("peak rise         : %.3f C -> %.3f C\n", base.Thermal.PeakRise, after.Thermal.PeakRise)
+	fmt.Printf("temp reduction    : %.1f%%\n", tempRed*100)
+	fmt.Printf("gradient          : %.3f C -> %.3f C\n", base.Thermal.GradientC, after.Thermal.GradientC)
+	fmt.Printf("timing overhead   : %.2f%% (critical path %.1f ps -> %.1f ps)\n",
+		timing.Overhead(baseTiming, afterTiming)*100, baseTiming.CriticalPathPs, afterTiming.CriticalPathPs)
+
+	if *defOut != "" {
+		out, err := os.Create(*defOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+		if err := def.Write(out, optimized); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("optimized placement written to %s\n", *defOut)
+	}
+}
+
+func loadLibrary(path string) (*celllib.Library, error) {
+	if path == "" {
+		return celllib.Default65nm(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return celllib.ParseLiberty(f)
+}
+
+func loadDesign(netlistPath, benchName string, lib *celllib.Library) (*netlist.Design, error) {
+	if netlistPath != "" {
+		f, err := os.Open(netlistPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseVerilog(f, lib)
+	}
+	switch benchName {
+	case "paper":
+		return bench.Generate(lib, bench.DefaultConfig())
+	case "small":
+		return bench.Generate(lib, bench.SmallConfig())
+	default:
+		return nil, fmt.Errorf("unknown built-in benchmark %q (want paper or small)", benchName)
+	}
+}
+
+func parseWorkload(s string) (bench.Workload, error) {
+	switch s {
+	case "scattered":
+		return bench.ScatteredSmallHotspots(), nil
+	case "concentrated":
+		return bench.ConcentratedLargeHotspot(), nil
+	default:
+		if len(s) > 8 && s[:8] == "uniform:" {
+			var a float64
+			if _, err := fmt.Sscanf(s[8:], "%g", &a); err != nil {
+				return bench.Workload{}, fmt.Errorf("bad uniform activity in %q", s)
+			}
+			return bench.UniformWorkload(a), nil
+		}
+		if s == "uniform" {
+			return bench.UniformWorkload(0.25), nil
+		}
+		return bench.Workload{}, fmt.Errorf("unknown workload %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermopt:", err)
+	os.Exit(1)
+}

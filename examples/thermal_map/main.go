@@ -1,0 +1,83 @@
+// Thermal map: the paper's Figure 5 (power and thermal profiles).
+//
+// The example runs the analysis pipeline on the paper-sized benchmark under
+// the scattered-hotspot workload and prints the power profile and the
+// thermal profile on the 40x40 grid, both as ASCII heat maps and as raw
+// matrices written next to the binary, plus the SPICE deck of the thermal
+// RC network that was solved (the paper's thermal simulator emits exactly
+// such a netlist).
+//
+// Run with:
+//
+//	go run ./examples/thermal_map
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+	"thermplace/internal/flow"
+	"thermplace/internal/spice"
+	"thermplace/internal/thermal"
+)
+
+func main() {
+	lib := celllib.Default65nm()
+	design, err := bench.Generate(lib, bench.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := bench.ScatteredSmallHotspots()
+
+	cfg := flow.DefaultConfig()
+	f := flow.New(design, workload, cfg)
+	an, err := f.AnalyzeBaseline()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("design %q under workload %q\n", design.Name, workload.Name)
+	fmt.Printf("core %.0f x %.0f um, total power %.2f mW\n",
+		an.Placement.FP.Core.W(), an.Placement.FP.Core.H(), an.Power.Total()*1e3)
+	fmt.Printf("peak temperature %.2f C (%.2f C above the %.0f C ambient), max gradient %.3f C\n",
+		an.Thermal.PeakC, an.Thermal.PeakRise, an.Thermal.AmbientC, an.Thermal.GradientC)
+
+	fmt.Println("\npower profile (Figure 5, left — hot = @):")
+	fmt.Print(an.PowerMap.ASCIIHeatmap())
+	fmt.Println("\nthermal profile (Figure 5, right — hot = @):")
+	fmt.Print(an.Thermal.Surface.ASCIIHeatmap())
+
+	fmt.Println("\nper-unit power:")
+	for unit, p := range an.Power.PerUnit() {
+		if unit == "" {
+			unit = "(glue)"
+		}
+		fmt.Printf("  %-10s %8.3f mW\n", unit, p*1e3)
+	}
+
+	// Raw matrices, in the same orientation as the paper's plots.
+	if err := os.WriteFile("fig5_power_map.txt", []byte(an.PowerMap.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("fig5_thermal_map.txt", []byte(an.Thermal.Surface.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	// The thermal RC network as a SPICE deck.
+	circuit, err := thermal.BuildNetwork(an.PowerMap, cfg.Thermal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deck, err := os.Create("thermal_network.sp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer deck.Close()
+	if err := spice.WriteDeck(deck, circuit, "steady-state thermal network of "+design.Name); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwritten: fig5_power_map.txt, fig5_thermal_map.txt, thermal_network.sp")
+	fmt.Printf("thermal network size: %d nodes, %d elements\n", circuit.NumNodes(), circuit.NumElements())
+}

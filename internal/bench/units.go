@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+
+	"thermplace/internal/netlist"
+)
+
+// UnitSpec describes one arithmetic unit of the synthetic benchmark.
+type UnitSpec struct {
+	// Name is the unit tag applied to every instance of the unit.
+	Name string
+	// Kind selects the generator.
+	Kind UnitKind
+	// Width is the operand bit width (multiplier/adder/ALU width).
+	Width int
+}
+
+// UnitKind enumerates the available arithmetic-unit generators.
+type UnitKind int
+
+const (
+	// KindMultiplier is an array multiplier with registered product.
+	KindMultiplier UnitKind = iota
+	// KindRippleAdder is a ripple-carry adder with registered sum.
+	KindRippleAdder
+	// KindCarrySelectAdder is a carry-select adder with registered sum.
+	KindCarrySelectAdder
+	// KindMAC is a multiply-accumulate unit: multiplier + accumulator adder
+	// + accumulator register fed back.
+	KindMAC
+	// KindALU is a simple per-bit ALU (add / and / or / xor selected by two
+	// control inputs) with registered result.
+	KindALU
+	// KindComparator is an equality/magnitude comparator tree.
+	KindComparator
+)
+
+func (k UnitKind) String() string {
+	switch k {
+	case KindMultiplier:
+		return "multiplier"
+	case KindRippleAdder:
+		return "ripple-adder"
+	case KindCarrySelectAdder:
+		return "carry-select-adder"
+	case KindMAC:
+		return "mac"
+	case KindALU:
+		return "alu"
+	case KindComparator:
+		return "comparator"
+	default:
+		return fmt.Sprintf("UnitKind(%d)", int(k))
+	}
+}
+
+// buildUnit adds one unit to the design, tagging all its cells with
+// spec.Name, and returns the number of instances created for it.
+func buildUnit(d *netlist.Design, spec UnitSpec, clk *netlist.Net) int {
+	before := d.NumInstances()
+	b := newBuilder(d, spec.Name, clk)
+	switch spec.Kind {
+	case KindMultiplier:
+		buildMultiplier(b, spec.Width)
+	case KindRippleAdder:
+		buildRippleAdder(b, spec.Width)
+	case KindCarrySelectAdder:
+		buildCarrySelectAdder(b, spec.Width)
+	case KindMAC:
+		buildMAC(b, spec.Width)
+	case KindALU:
+		buildALU(b, spec.Width)
+	case KindComparator:
+		buildComparator(b, spec.Width)
+	default:
+		panic(fmt.Sprintf("bench: unknown unit kind %v", spec.Kind))
+	}
+	return d.NumInstances() - before
+}
+
+func buildMultiplier(b *builder, width int) {
+	a := b.inputBus("a", width)
+	c := b.inputBus("b", width)
+	p := b.arrayMultiplier(a, c)
+	reg := b.register(p)
+	b.outputBus("p", reg)
+}
+
+func buildRippleAdder(b *builder, width int) {
+	a := b.inputBus("a", width)
+	c := b.inputBus("b", width)
+	sum, cout := b.rippleAdder(a, c, nil)
+	reg := b.register(append(sum, cout))
+	b.outputBus("s", reg)
+}
+
+func buildCarrySelectAdder(b *builder, width int) {
+	a := b.inputBus("a", width)
+	c := b.inputBus("b", width)
+	sum, cout := b.carrySelectAdder(a, c, 8)
+	reg := b.register(append(sum, cout))
+	b.outputBus("s", reg)
+}
+
+func buildMAC(b *builder, width int) {
+	a := b.inputBus("a", width)
+	c := b.inputBus("b", width)
+	p := b.arrayMultiplier(a, c)
+	// Accumulator is 2*width+4 bits wide; feedback register.
+	accWidth := 2*width + 4
+	// Extend the product with zeros.
+	zero := b.gate("TIE0_X1", map[string]*netlist.Net{})
+	ext := make([]*netlist.Net, accWidth)
+	for i := range ext {
+		if i < len(p) {
+			ext[i] = p[i]
+		} else {
+			ext[i] = zero
+		}
+	}
+	// Feedback accumulator: acc <= acc + product. Registers are created
+	// first conceptually, but gate-level construction needs the adder output
+	// first, so build DFFs on the adder outputs and use their outputs as the
+	// second adder operand (a one-cycle accumulate loop).
+	// To break the chicken-and-egg we create the register output nets up
+	// front, then connect the DFF outputs onto them.
+	accOut := make([]*netlist.Net, accWidth)
+	for i := range accOut {
+		accOut[i] = b.newNet()
+	}
+	sum, _ := b.rippleAdder(ext, accOut, nil)
+	for i := range sum {
+		b.gate("DFF_X1", map[string]*netlist.Net{"D": sum[i], "CK": b.clk, "Z": accOut[i]})
+	}
+	b.outputBus("acc", accOut)
+}
+
+func buildALU(b *builder, width int) {
+	a := b.inputBus("a", width)
+	c := b.inputBus("b", width)
+	op0 := b.input("op0")
+	op1 := b.input("op1")
+	sum, _ := b.rippleAdder(a, c, nil)
+	res := make([]*netlist.Net, width)
+	for i := 0; i < width; i++ {
+		andV := b.and2(a[i], c[i])
+		orV := b.or2(a[i], c[i])
+		xorV := b.xor2(a[i], c[i])
+		lo := b.mux2(sum[i], andV, op0)
+		hi := b.mux2(orV, xorV, op0)
+		res[i] = b.mux2(lo, hi, op1)
+	}
+	reg := b.register(res)
+	b.outputBus("r", reg)
+}
+
+func buildComparator(b *builder, width int) {
+	a := b.inputBus("a", width)
+	c := b.inputBus("b", width)
+	// Equality: AND-tree of per-bit XNORs.
+	eqBits := make([]*netlist.Net, width)
+	for i := 0; i < width; i++ {
+		eqBits[i] = b.gate("XNOR2_X1", map[string]*netlist.Net{"A": a[i], "B": c[i]})
+	}
+	eq := reduceTree(b, eqBits, b.and2)
+	// Greater-than via a borrow chain: a > b iff the subtraction a - b - 1
+	// produces no borrow. Implemented with the ripple adder on a and the
+	// inverted b (a + ~b, carry-out = a >= b), then refined with eq.
+	cinv := make([]*netlist.Net, width)
+	for i := 0; i < width; i++ {
+		cinv[i] = b.inv(c[i])
+	}
+	one := b.gate("TIE1_X1", map[string]*netlist.Net{})
+	_, geCarry := b.rippleAdder(a, cinv, one)
+	gt := b.and2(geCarry, b.inv(eq))
+	regEq := b.dff(eq)
+	regGt := b.dff(gt)
+	b.output("eq", regEq)
+	b.output("gt", regGt)
+}
+
+// reduceTree folds the nets pairwise with op until a single net remains.
+func reduceTree(b *builder, nets []*netlist.Net, op func(a, c *netlist.Net) *netlist.Net) *netlist.Net {
+	if len(nets) == 0 {
+		panic("bench: reduceTree on empty slice")
+	}
+	for len(nets) > 1 {
+		var next []*netlist.Net
+		for i := 0; i+1 < len(nets); i += 2 {
+			next = append(next, op(nets[i], nets[i+1]))
+		}
+		if len(nets)%2 == 1 {
+			next = append(next, nets[len(nets)-1])
+		}
+		nets = next
+	}
+	return nets[0]
+}

@@ -1,0 +1,167 @@
+package celllib
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFuncEvalTruthTables(t *testing.T) {
+	b := func(bits ...int) []bool {
+		out := make([]bool, len(bits))
+		for i, v := range bits {
+			out[i] = v != 0
+		}
+		return out
+	}
+	cases := []struct {
+		fn   Func
+		in   []bool
+		want bool
+	}{
+		{FuncConst0, nil, false},
+		{FuncConst1, nil, true},
+		{FuncBuf, b(1), true},
+		{FuncBuf, b(0), false},
+		{FuncInv, b(1), false},
+		{FuncInv, b(0), true},
+		{FuncAnd2, b(1, 1), true},
+		{FuncAnd2, b(1, 0), false},
+		{FuncNand2, b(1, 1), false},
+		{FuncNand2, b(0, 1), true},
+		{FuncNand3, b(1, 1, 1), false},
+		{FuncNand3, b(1, 0, 1), true},
+		{FuncOr2, b(0, 0), false},
+		{FuncOr2, b(0, 1), true},
+		{FuncNor2, b(0, 0), true},
+		{FuncNor2, b(1, 0), false},
+		{FuncNor3, b(0, 0, 0), true},
+		{FuncNor3, b(0, 1, 0), false},
+		{FuncXor2, b(1, 0), true},
+		{FuncXor2, b(1, 1), false},
+		{FuncXnor2, b(1, 1), true},
+		{FuncXnor2, b(1, 0), false},
+		{FuncAoi21, b(1, 1, 0), false},
+		{FuncAoi21, b(0, 1, 0), true},
+		{FuncAoi21, b(0, 0, 1), false},
+		{FuncOai21, b(0, 0, 1), true},
+		{FuncOai21, b(1, 0, 1), false},
+		{FuncOai21, b(1, 1, 0), true},
+		{FuncMux2, b(1, 0, 0), true},  // S=0 -> A
+		{FuncMux2, b(1, 0, 1), false}, // S=1 -> B
+		{FuncMaj3, b(1, 1, 0), true},
+		{FuncMaj3, b(1, 0, 0), false},
+		{FuncXor3, b(1, 1, 1), true},
+		{FuncXor3, b(1, 1, 0), false},
+		{FuncXor3, b(1, 0, 0), true},
+	}
+	for _, c := range cases {
+		if got := c.fn.Eval(c.in); got != c.want {
+			t.Errorf("%s%v = %v, want %v", c.fn, c.in, got, c.want)
+		}
+	}
+}
+
+func TestFuncNumInputs(t *testing.T) {
+	cases := map[Func]int{
+		FuncNone: 0, FuncConst0: 0, FuncConst1: 0,
+		FuncBuf: 1, FuncInv: 1, FuncDFF: 1,
+		FuncAnd2: 2, FuncNand2: 2, FuncOr2: 2, FuncNor2: 2, FuncXor2: 2, FuncXnor2: 2,
+		FuncNand3: 3, FuncNor3: 3, FuncAoi21: 3, FuncOai21: 3, FuncMux2: 3, FuncMaj3: 3, FuncXor3: 3,
+	}
+	for fn, want := range cases {
+		if got := fn.NumInputs(); got != want {
+			t.Errorf("%s.NumInputs() = %d, want %d", fn, got, want)
+		}
+	}
+}
+
+func TestFuncStringRoundTrip(t *testing.T) {
+	for fn := range funcNames {
+		parsed, err := ParseFunc(fn.String())
+		if err != nil {
+			t.Errorf("ParseFunc(%s): %v", fn, err)
+			continue
+		}
+		if parsed != fn {
+			t.Errorf("round trip %s -> %s", fn, parsed)
+		}
+	}
+	if _, err := ParseFunc("NOT_A_FUNC"); err == nil {
+		t.Error("ParseFunc should reject unknown names")
+	}
+}
+
+func TestFuncEvalArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong arity")
+		}
+	}()
+	FuncNand2.Eval([]bool{true})
+}
+
+func TestFuncDFFEvalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic evaluating DFF combinationally")
+		}
+	}()
+	FuncDFF.Eval([]bool{true})
+}
+
+// Property: De Morgan equivalences hold between the library functions.
+func TestDeMorganProperties(t *testing.T) {
+	f := func(a, b bool) bool {
+		in := []bool{a, b}
+		if FuncNand2.Eval(in) != !FuncAnd2.Eval(in) {
+			return false
+		}
+		if FuncNor2.Eval(in) != !FuncOr2.Eval(in) {
+			return false
+		}
+		if FuncXnor2.Eval(in) != !FuncXor2.Eval(in) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MAJ3 and XOR3 implement a correct full adder for all inputs.
+func TestFullAdderProperty(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		toInt := func(v bool) int {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		sum := toInt(a) + toInt(b) + toInt(c)
+		in := []bool{a, b, c}
+		gotSum := toInt(FuncXor3.Eval(in))
+		gotCarry := toInt(FuncMaj3.Eval(in))
+		return gotCarry*2+gotSum == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AOI21/OAI21 match their gate-level definitions.
+func TestAoiOaiProperty(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		in := []bool{a, b, c}
+		if FuncAoi21.Eval(in) != !((a && b) || c) {
+			return false
+		}
+		if FuncOai21.Eval(in) != !((a || b) && c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package celllib
+
+// Default65nm returns the built-in synthetic 65 nm-class library used by the
+// benchmark generator and the examples.
+//
+// Numbers are calibrated to publicly known 65 nm low-power library ballparks:
+// row height 2.0 um, site width 0.2 um, Vdd 1.0 V, input pin capacitance
+// around 1-2 fF, per-switch internal energy of a few femtojoules and leakage
+// of tens of nanowatts per gate. Absolute accuracy is not required by the
+// reproduction (the paper reports only relative temperature reductions); the
+// library only has to produce realistic relative power densities.
+func Default65nm() *Library {
+	lib := NewLibrary("core65lite", 2.0, 0.2, 1.0)
+	lib.WireCapPerUm = 0.2 // fF / um
+	lib.WireResPerUm = 1.0 // ohm / um
+
+	inPin := func(name string, capFF float64) Pin { return Pin{Name: name, Dir: Input, Cap: capFF} }
+	outPin := func(name string) Pin { return Pin{Name: name, Dir: Output} }
+
+	type spec struct {
+		name      string
+		width     float64 // um
+		fn        Func
+		inputs    []Pin
+		driveRes  float64 // kOhm
+		intrinsic float64 // ps
+		leakage   float64 // nW
+		energy    float64 // fJ per output switch
+		seq       bool
+	}
+
+	combo := []spec{
+		{"INV_X1", 0.6, FuncInv, []Pin{inPin("A", 1.2)}, 4.5, 10, 10, 1.0, false},
+		{"INV_X2", 0.8, FuncInv, []Pin{inPin("A", 2.4)}, 2.3, 9, 18, 1.8, false},
+		{"INV_X4", 1.2, FuncInv, []Pin{inPin("A", 4.8)}, 1.2, 8, 34, 3.4, false},
+		{"BUF_X1", 1.0, FuncBuf, []Pin{inPin("A", 1.3)}, 3.8, 22, 16, 1.8, false},
+		{"BUF_X2", 1.4, FuncBuf, []Pin{inPin("A", 2.5)}, 2.0, 20, 28, 3.0, false},
+		{"NAND2_X1", 0.8, FuncNand2, []Pin{inPin("A", 1.4), inPin("B", 1.4)}, 5.0, 14, 14, 1.5, false},
+		{"NAND2_X2", 1.2, FuncNand2, []Pin{inPin("A", 2.7), inPin("B", 2.7)}, 2.6, 13, 26, 2.7, false},
+		{"NAND3_X1", 1.0, FuncNand3, []Pin{inPin("A", 1.5), inPin("B", 1.5), inPin("C", 1.5)}, 5.6, 18, 18, 2.0, false},
+		{"NOR2_X1", 0.8, FuncNor2, []Pin{inPin("A", 1.4), inPin("B", 1.4)}, 5.4, 15, 13, 1.5, false},
+		{"NOR3_X1", 1.0, FuncNor3, []Pin{inPin("A", 1.5), inPin("B", 1.5), inPin("C", 1.5)}, 6.2, 20, 17, 2.0, false},
+		{"AND2_X1", 1.0, FuncAnd2, []Pin{inPin("A", 1.3), inPin("B", 1.3)}, 4.8, 24, 17, 2.1, false},
+		{"OR2_X1", 1.0, FuncOr2, []Pin{inPin("A", 1.3), inPin("B", 1.3)}, 4.9, 25, 17, 2.1, false},
+		{"XOR2_X1", 1.6, FuncXor2, []Pin{inPin("A", 2.0), inPin("B", 2.0)}, 5.2, 30, 28, 3.6, false},
+		{"XNOR2_X1", 1.6, FuncXnor2, []Pin{inPin("A", 2.0), inPin("B", 2.0)}, 5.2, 30, 28, 3.6, false},
+		{"AOI21_X1", 1.2, FuncAoi21, []Pin{inPin("A", 1.5), inPin("B", 1.5), inPin("C", 1.6)}, 5.5, 19, 19, 2.2, false},
+		{"OAI21_X1", 1.2, FuncOai21, []Pin{inPin("A", 1.5), inPin("B", 1.5), inPin("C", 1.6)}, 5.5, 19, 19, 2.2, false},
+		{"MUX2_X1", 1.8, FuncMux2, []Pin{inPin("A", 1.6), inPin("B", 1.6), inPin("S", 2.2)}, 5.0, 28, 30, 3.2, false},
+		{"MAJ3_X1", 2.0, FuncMaj3, []Pin{inPin("A", 1.8), inPin("B", 1.8), inPin("C", 1.8)}, 5.4, 32, 32, 3.8, false},
+		{"XOR3_X1", 2.4, FuncXor3, []Pin{inPin("A", 2.2), inPin("B", 2.2), inPin("C", 2.2)}, 5.8, 40, 40, 5.0, false},
+		{"TIE0_X1", 0.6, FuncConst0, nil, 8.0, 0, 4, 0.1, false},
+		{"TIE1_X1", 0.6, FuncConst1, nil, 8.0, 0, 4, 0.1, false},
+		{"DFF_X1", 3.6, FuncDFF, []Pin{inPin("D", 1.6), inPin("CK", 1.0)}, 4.6, 55, 60, 6.5, true},
+		{"DFF_X2", 4.2, FuncDFF, []Pin{inPin("D", 2.8), inPin("CK", 1.4)}, 2.4, 50, 90, 9.0, true},
+	}
+	for _, s := range combo {
+		pins := append(append([]Pin{}, s.inputs...), outPin("Z"))
+		lib.MustAddMaster(&Master{
+			Name:         s.name,
+			Width:        s.width,
+			Pins:         pins,
+			Function:     s.fn,
+			DriveRes:     s.driveRes,
+			Intrinsic:    s.intrinsic,
+			Leakage:      s.leakage,
+			SwitchEnergy: s.energy,
+			Sequential:   s.seq,
+		})
+	}
+
+	// Filler (dummy) cells: no transistors, zero power, used to preserve
+	// power/ground rail continuity when whitespace is allocated.
+	for _, f := range []struct {
+		name  string
+		width float64
+	}{
+		{"FILL1", 0.2},
+		{"FILL2", 0.4},
+		{"FILL4", 0.8},
+		{"FILL8", 1.6},
+		{"FILL16", 3.2},
+		{"FILL32", 6.4},
+		{"FILL64", 12.8},
+	} {
+		lib.MustAddMaster(&Master{
+			Name:     f.name,
+			Width:    f.width,
+			Function: FuncNone,
+			Filler:   true,
+		})
+	}
+	return lib
+}

@@ -1,0 +1,56 @@
+// Package core implements the paper's contribution: post-placement
+// temperature-reduction techniques that allocate whitespace where the
+// thermal hotspots are, instead of spreading it blindly over the die.
+//
+// Three strategies are provided:
+//
+//   - Default: the reference strategy of the paper — relax the placement
+//     row-utilization factor so the same cells occupy a larger core. The
+//     whitespace (and hence the power-density reduction) is uniform.
+//   - Empty Row Insertion (ERI): insert empty layout rows, filled with
+//     zero-power dummy cells, interleaved with the populated rows of the
+//     hotspot region. Only the hotspot's area grows, so the whole area
+//     overhead is spent where the temperature is highest.
+//   - Hotspot Wrapper (HW): surround each (small) hotspot with a ring of
+//     filler cells, evict the cells that do not belong to the hotspot from
+//     the wrapped region, and spread the remaining hot cells uniformly
+//     inside it.
+//
+// All three operate on a finished placement and return a new placement;
+// package flow measures the resulting peak temperature. The Sweep functions
+// reproduce the paper's evaluation: Figure 6 (temperature reduction versus
+// area overhead for the three strategies on scattered small hotspots) and
+// Table I (Default versus ERI on a single large concentrated hotspot).
+package core
+
+import "fmt"
+
+// Strategy identifies one of the area-management strategies.
+type Strategy string
+
+const (
+	// StrategyDefault is uniform whitespace from utilization relaxation.
+	StrategyDefault Strategy = "default"
+	// StrategyERI is the paper's Empty Row Insertion.
+	StrategyERI Strategy = "eri"
+	// StrategyHW is the paper's Hotspot Wrapper.
+	StrategyHW Strategy = "hw"
+)
+
+// Valid reports whether the strategy is one of the known values.
+func (s Strategy) Valid() bool {
+	switch s {
+	case StrategyDefault, StrategyERI, StrategyHW:
+		return true
+	}
+	return false
+}
+
+// ParseStrategy converts a string to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	st := Strategy(s)
+	if !st.Valid() {
+		return "", fmt.Errorf("core: unknown strategy %q (want default, eri or hw)", s)
+	}
+	return st, nil
+}

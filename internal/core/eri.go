@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"thermplace/internal/hotspot"
+	"thermplace/internal/place"
+)
+
+// ERIOptions tunes the Empty Row Insertion transform.
+type ERIOptions struct {
+	// Rows is the total number of empty rows to insert. It must be positive.
+	Rows int
+	// Interleave controls the insertion pattern inside the hotspot row
+	// span: true (the paper's scheme, and the default used when the options
+	// come from DefaultERIOptions) spreads the empty rows so that populated
+	// and empty rows alternate as evenly as possible; false inserts them as
+	// one contiguous block at the centre of the hotspot, which is the
+	// ablation variant benchmarked in bench_test.go.
+	Interleave bool
+}
+
+// DefaultERIOptions returns the paper's interleaved scheme with the given
+// row count.
+func DefaultERIOptions(rows int) ERIOptions { return ERIOptions{Rows: rows, Interleave: true} }
+
+// EmptyRowInsertion applies the paper's first technique: empty layout rows
+// are inserted in proximity of the hotspots, the rows above shift upward,
+// the core grows by Rows*rowHeight, and the freed whitespace is filled with
+// dummy cells. The cells themselves keep their horizontal positions, so the
+// disturbance to the original placement (and hence the timing overhead) is
+// minimal.
+//
+// The row budget is divided between the hotspots proportionally to the
+// number of placement rows each hotspot spans. The transform never modifies
+// its input; it returns a new placement with its own stretched floorplan.
+func EmptyRowInsertion(p *place.Placement, spots []hotspot.Hotspot, opts ERIOptions) (*place.Placement, error) {
+	if opts.Rows <= 0 {
+		return nil, fmt.Errorf("core: ERI needs a positive row count, got %d", opts.Rows)
+	}
+	if len(spots) == 0 {
+		return nil, fmt.Errorf("core: ERI needs at least one hotspot")
+	}
+	out := p.Clone()
+	fp := out.FP
+
+	// Row span of each hotspot in the original floorplan.
+	type span struct{ lo, hi int }
+	spans := make([]span, 0, len(spots))
+	totalRows := 0
+	for _, h := range spots {
+		lo := fp.RowAt(h.Rect.Ylo).Index
+		hi := fp.RowAt(h.Rect.Yhi - 1e-9).Index
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		spans = append(spans, span{lo, hi})
+		totalRows += hi - lo + 1
+	}
+
+	// Distribute the row budget over the hotspots proportionally to their
+	// row spans (larger hotspots receive more empty rows).
+	budget := make([]int, len(spans))
+	assigned := 0
+	for i, s := range spans {
+		share := opts.Rows * (s.hi - s.lo + 1) / totalRows
+		budget[i] = share
+		assigned += share
+	}
+	for i := 0; assigned < opts.Rows; i = (i + 1) % len(budget) {
+		budget[i]++
+		assigned++
+	}
+
+	// Compute the insertion points (original row indices; an insertion at
+	// index k means "a new empty row appears below original row k").
+	var insertions []int
+	for i, s := range spans {
+		n := budget[i]
+		if n == 0 {
+			continue
+		}
+		spanRows := s.hi - s.lo + 1
+		if opts.Interleave {
+			for k := 0; k < n; k++ {
+				// Even spread across the span; repeats are fine (two empty
+				// rows below the same populated row).
+				pos := s.lo + (k*spanRows+spanRows/2)/n
+				if pos > s.hi+1 {
+					pos = s.hi + 1
+				}
+				insertions = append(insertions, pos)
+			}
+		} else {
+			mid := (s.lo + s.hi + 1) / 2
+			for k := 0; k < n; k++ {
+				insertions = append(insertions, mid)
+			}
+		}
+	}
+	sort.Ints(insertions)
+
+	// Stretch the floorplan. Insertions are applied from the highest index
+	// down so that previously computed (original-index) positions stay
+	// valid.
+	for i := len(insertions) - 1; i >= 0; i-- {
+		if err := fp.InsertRows(insertions[i], 1); err != nil {
+			return nil, fmt.Errorf("core: ERI: %w", err)
+		}
+	}
+
+	// Shift every cell up by one row height per insertion at or below its
+	// original row.
+	shiftOf := func(row int) int {
+		// insertions is sorted; count entries <= row.
+		n := sort.SearchInts(insertions, row+1)
+		return n
+	}
+	for _, inst := range out.Design.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		l, ok := out.Loc(inst)
+		if !ok {
+			continue
+		}
+		shift := shiftOf(l.Row)
+		if shift == 0 {
+			continue
+		}
+		l.Row += shift
+		l.Y = fp.Rows[l.Row].Y
+		out.SetLoc(inst, l)
+	}
+
+	place.Legalize(out)
+	place.InsertFillers(out)
+	return out, nil
+}
+
+// AreaOverheadForRows returns the fractional core-area overhead caused by
+// inserting the given number of empty rows into the placement's floorplan.
+func AreaOverheadForRows(p *place.Placement, rows int) float64 {
+	base := p.FP.CoreArea()
+	extra := float64(rows) * p.FP.RowHeight * p.FP.Core.W()
+	return extra / base
+}
+
+// RowsForAreaOverhead returns the number of empty rows that produces
+// approximately the requested fractional area overhead (at least 1).
+func RowsForAreaOverhead(p *place.Placement, overhead float64) int {
+	perRow := p.FP.RowHeight * p.FP.Core.W() / p.FP.CoreArea()
+	rows := int(overhead/perRow + 0.5)
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+
+	"thermplace/internal/flow"
+	"thermplace/internal/hotspot"
+	"thermplace/internal/netlist"
+	"thermplace/internal/place"
+)
+
+// EfficiencyPoint is one point of the paper's Figure 6: a strategy applied
+// at a given area overhead and the peak-temperature reduction it achieved.
+type EfficiencyPoint struct {
+	Strategy Strategy
+	// AreaOverhead is the fractional core-area increase over the baseline
+	// placement (0.16 means +16.1%).
+	AreaOverhead float64
+	// TempReduction is the fractional reduction of the peak temperature
+	// rise relative to the baseline (0.131 means 13.1%).
+	TempReduction float64
+	// PeakRise is the absolute peak rise above ambient of this point in K.
+	PeakRise float64
+	// Rows is the number of empty rows inserted (ERI points only).
+	Rows int
+	// Utilization is the placement utilization of this point.
+	Utilization float64
+	// Analysis carries the full measurement for further inspection (may be
+	// nil when KeepAnalyses is false).
+	Analysis *flow.Analysis
+	// Placement is the placement measured at this point (may be nil when
+	// KeepAnalyses is false).
+	Placement *place.Placement
+}
+
+// SweepOptions controls an efficiency sweep.
+type SweepOptions struct {
+	// Overheads are the target fractional area overheads for the Default
+	// and HW strategies, e.g. {0.05, 0.1, 0.2, 0.3, 0.4}.
+	Overheads []float64
+	// ERIRows are the empty-row counts for the ERI strategy; when empty,
+	// row counts approximating Overheads are used.
+	ERIRows []int
+	// Strategies selects which strategies to sweep; empty means all three.
+	Strategies []Strategy
+	// Wrapper configures the HW transform; its PowerOf is filled in from
+	// the corresponding Default analysis when nil.
+	Wrapper WrapperOptions
+	// WrapperDetection re-detects hotspots for the HW strategy with its own
+	// (typically tighter) threshold: wrappers are built around the cells
+	// that are the source of the hotspot, whereas ERI targets the broader
+	// warm area around it. A zero value selects ThresholdFrac 0.75.
+	WrapperDetection hotspot.Options
+	// KeepAnalyses retains the full analysis and placement of every point
+	// (memory heavy for large sweeps).
+	KeepAnalyses bool
+}
+
+// DefaultSweepOptions reproduces the x-axis range of the paper's Figure 6:
+// area overheads from about 5% to 40%.
+func DefaultSweepOptions() SweepOptions {
+	return SweepOptions{
+		Overheads: []float64{0.05, 0.10, 0.16, 0.24, 0.32, 0.40},
+	}
+}
+
+// SweepResult is the outcome of an efficiency sweep.
+type SweepResult struct {
+	// Baseline is the analysis of the compact starting placement that every
+	// reduction is measured against.
+	Baseline *flow.Analysis
+	// BaselineUtilization is the utilization of the baseline placement.
+	BaselineUtilization float64
+	// Points are the measured efficiency points, grouped by strategy in the
+	// order Default, ERI, HW, each sorted by increasing area overhead.
+	Points []EfficiencyPoint
+}
+
+// PointsFor returns the points of one strategy in sweep order.
+func (r *SweepResult) PointsFor(s Strategy) []EfficiencyPoint {
+	var out []EfficiencyPoint
+	for _, p := range r.Points {
+		if p.Strategy == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// reduction computes the fractional peak-rise reduction of a versus base.
+func reduction(base, a float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (base - a) / base
+}
+
+func wantStrategy(opts SweepOptions, s Strategy) bool {
+	if len(opts.Strategies) == 0 {
+		return true
+	}
+	for _, x := range opts.Strategies {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// SweepEfficiency reproduces the paper's Figure 6 experiment on the flow's
+// design and workload: it measures the baseline placement, then for every
+// requested area overhead measures the Default strategy (utilization
+// relaxation), the ERI strategy (empty rows targeted at the baseline's
+// hotspots) and the HW strategy (wrappers applied on top of the Default
+// placement of the same overhead), and reports the peak-temperature
+// reduction of each point.
+func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
+	if len(opts.Overheads) == 0 {
+		opts = DefaultSweepOptions()
+	}
+	baseUtil := f.Config.Utilization
+	baseline, err := f.AnalyzeBaseline()
+	if err != nil {
+		return nil, fmt.Errorf("core: sweep baseline: %w", err)
+	}
+	if len(baseline.Hotspots) == 0 {
+		return nil, fmt.Errorf("core: baseline has no detectable hotspots; nothing to optimize")
+	}
+	baseRise := baseline.Thermal.PeakRise
+	baseArea := baseline.Placement.FP.CoreArea()
+	result := &SweepResult{Baseline: baseline, BaselineUtilization: baseUtil}
+
+	record := func(pt EfficiencyPoint, an *flow.Analysis, p *place.Placement) {
+		if opts.KeepAnalyses {
+			pt.Analysis = an
+			pt.Placement = p
+		}
+		result.Points = append(result.Points, pt)
+	}
+
+	// Default strategy: relax the utilization so the core grows by the
+	// requested overhead.
+	defaultAnalyses := make(map[float64]*flow.Analysis)
+	if wantStrategy(opts, StrategyDefault) || wantStrategy(opts, StrategyHW) {
+		for _, ov := range opts.Overheads {
+			util := baseUtil / (1 + ov)
+			p, err := f.PlaceAt(util)
+			if err != nil {
+				return nil, fmt.Errorf("core: default point %+v: %w", ov, err)
+			}
+			an, err := f.Analyze(p)
+			if err != nil {
+				return nil, fmt.Errorf("core: default point %+v: %w", ov, err)
+			}
+			defaultAnalyses[ov] = an
+			if wantStrategy(opts, StrategyDefault) {
+				record(EfficiencyPoint{
+					Strategy:      StrategyDefault,
+					AreaOverhead:  an.Placement.FP.CoreArea()/baseArea - 1,
+					TempReduction: reduction(baseRise, an.Thermal.PeakRise),
+					PeakRise:      an.Thermal.PeakRise,
+					Utilization:   util,
+				}, an, p)
+			}
+		}
+	}
+
+	// ERI strategy: empty rows inserted at the baseline's hotspots.
+	if wantStrategy(opts, StrategyERI) {
+		rowCounts := opts.ERIRows
+		if len(rowCounts) == 0 {
+			for _, ov := range opts.Overheads {
+				rowCounts = append(rowCounts, RowsForAreaOverhead(baseline.Placement, ov))
+			}
+		}
+		for _, rows := range rowCounts {
+			p, err := EmptyRowInsertion(baseline.Placement, baseline.Hotspots, DefaultERIOptions(rows))
+			if err != nil {
+				return nil, fmt.Errorf("core: ERI %d rows: %w", rows, err)
+			}
+			an, err := f.Analyze(p)
+			if err != nil {
+				return nil, fmt.Errorf("core: ERI %d rows: %w", rows, err)
+			}
+			record(EfficiencyPoint{
+				Strategy:      StrategyERI,
+				AreaOverhead:  an.Placement.FP.CoreArea()/baseArea - 1,
+				TempReduction: reduction(baseRise, an.Thermal.PeakRise),
+				PeakRise:      an.Thermal.PeakRise,
+				Rows:          rows,
+				Utilization:   baseUtil / (an.Placement.FP.CoreArea() / baseArea),
+			}, an, p)
+		}
+	}
+
+	// HW strategy: wrapper insertion on top of each Default placement. The
+	// wrapper targets a tighter hotspot definition than ERI does: it
+	// isolates the cells that are the source of each hotspot rather than
+	// the whole warm area around them.
+	if wantStrategy(opts, StrategyHW) {
+		detect := opts.WrapperDetection
+		if detect.ThresholdFrac == 0 {
+			detect.ThresholdFrac = 0.75
+		}
+		if detect.MinCells == 0 {
+			detect.MinCells = 2
+		}
+		for _, ov := range opts.Overheads {
+			defAn := defaultAnalyses[ov]
+			if defAn == nil {
+				continue
+			}
+			spots := hotspot.Detect(defAn.Thermal.RiseMap(), detect)
+			if len(spots) == 0 {
+				continue
+			}
+			wopts := opts.Wrapper
+			if wopts.PowerOf == nil {
+				rep := defAn.Power
+				wopts.PowerOf = func(inst *netlist.Instance) float64 { return rep.InstancePower(inst) }
+			}
+			if wopts.HotCellFactor == 0 {
+				wopts.HotCellFactor = 1.0
+			}
+			p, err := HotspotWrapper(defAn.Placement, spots, wopts)
+			if err != nil {
+				return nil, fmt.Errorf("core: HW at overhead %.2f: %w", ov, err)
+			}
+			an, err := f.Analyze(p)
+			if err != nil {
+				return nil, fmt.Errorf("core: HW at overhead %.2f: %w", ov, err)
+			}
+			record(EfficiencyPoint{
+				Strategy:      StrategyHW,
+				AreaOverhead:  an.Placement.FP.CoreArea()/baseArea - 1,
+				TempReduction: reduction(baseRise, an.Thermal.PeakRise),
+				PeakRise:      an.Thermal.PeakRise,
+				Utilization:   baseUtil / (an.Placement.FP.CoreArea() / baseArea),
+			}, an, p)
+		}
+	}
+	return result, nil
+}
+
+// ConcentratedRow is one row of the paper's Table I.
+type ConcentratedRow struct {
+	Strategy      Strategy
+	CoreW, CoreH  float64
+	Rows          int
+	AreaOverhead  float64
+	TempReduction float64
+	PeakRise      float64
+}
+
+// ConcentratedOptions configures the Table I experiment.
+type ConcentratedOptions struct {
+	// Overheads are the two (or more) area-overhead points; the paper uses
+	// 16.1% and 32.2%.
+	Overheads []float64
+	// ERIRows are the matching empty-row counts; the paper uses 20 and 40.
+	// When empty, counts matching Overheads are derived from the baseline.
+	ERIRows []int
+	// KeepAnalyses retains each row's analysis (not exported in the row,
+	// but reachable through the returned analyses slice).
+	KeepAnalyses bool
+}
+
+// DefaultConcentratedOptions mirrors Table I of the paper.
+func DefaultConcentratedOptions() ConcentratedOptions {
+	return ConcentratedOptions{
+		Overheads: []float64{0.161, 0.322},
+		ERIRows:   []int{20, 40},
+	}
+}
+
+// ConcentratedResult is the reproduced Table I.
+type ConcentratedResult struct {
+	Baseline *flow.Analysis
+	Rows     []ConcentratedRow
+}
+
+// ConcentratedExperiment reproduces Table I: for a workload producing one
+// large concentrated hotspot, it compares the Default strategy at the given
+// area overheads against Empty Row Insertion with the given row counts
+// (the wrapper method "is not suitable for large hotspots", so it is not
+// part of this experiment, exactly as in the paper).
+func ConcentratedExperiment(f *flow.Flow, opts ConcentratedOptions) (*ConcentratedResult, error) {
+	if len(opts.Overheads) == 0 {
+		opts = DefaultConcentratedOptions()
+	}
+	baseline, err := f.AnalyzeBaseline()
+	if err != nil {
+		return nil, fmt.Errorf("core: concentrated baseline: %w", err)
+	}
+	if len(baseline.Hotspots) == 0 {
+		return nil, fmt.Errorf("core: concentrated baseline has no hotspots")
+	}
+	baseRise := baseline.Thermal.PeakRise
+	baseArea := baseline.Placement.FP.CoreArea()
+	out := &ConcentratedResult{Baseline: baseline}
+
+	for _, ov := range opts.Overheads {
+		util := f.Config.Utilization / (1 + ov)
+		p, err := f.PlaceAt(util)
+		if err != nil {
+			return nil, err
+		}
+		an, err := f.Analyze(p)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, ConcentratedRow{
+			Strategy:      StrategyDefault,
+			CoreW:         p.FP.Core.W(),
+			CoreH:         p.FP.Core.H(),
+			AreaOverhead:  p.FP.CoreArea()/baseArea - 1,
+			TempReduction: reduction(baseRise, an.Thermal.PeakRise),
+			PeakRise:      an.Thermal.PeakRise,
+		})
+	}
+
+	rowCounts := opts.ERIRows
+	if len(rowCounts) == 0 {
+		for _, ov := range opts.Overheads {
+			rowCounts = append(rowCounts, RowsForAreaOverhead(baseline.Placement, ov))
+		}
+	}
+	for _, rows := range rowCounts {
+		p, err := EmptyRowInsertion(baseline.Placement, baseline.Hotspots[:1], DefaultERIOptions(rows))
+		if err != nil {
+			return nil, err
+		}
+		an, err := f.Analyze(p)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, ConcentratedRow{
+			Strategy:      StrategyERI,
+			CoreW:         p.FP.Core.W(),
+			CoreH:         p.FP.Core.H(),
+			Rows:          rows,
+			AreaOverhead:  p.FP.CoreArea()/baseArea - 1,
+			TempReduction: reduction(baseRise, an.Thermal.PeakRise),
+			PeakRise:      an.Thermal.PeakRise,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+// Package flow wires the individual substrates into the paper's analysis
+// pipeline (Figure 2 of the paper): gate-level netlist -> placement ->
+// random-vector logic simulation -> power estimation -> thermal simulation
+// -> hotspot localization. The post-placement area-management techniques in
+// package core consume and produce placements; this package provides the
+// "measure the temperature of this placement" half of the loop.
+package flow
+
+import (
+	"fmt"
+	"strings"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/floorplan"
+	"thermplace/internal/geom"
+	"thermplace/internal/hotspot"
+	"thermplace/internal/logicsim"
+	"thermplace/internal/netlist"
+	"thermplace/internal/place"
+	"thermplace/internal/power"
+	"thermplace/internal/thermal"
+)
+
+// Config collects every knob of the analysis pipeline.
+type Config struct {
+	// Utilization is the baseline placement utilization factor.
+	Utilization float64
+	// AspectRatio is the core aspect ratio (height / width).
+	AspectRatio float64
+	// SimCycles is the number of random-vector cycles used to extract
+	// switching activity.
+	SimCycles int
+	// Seed seeds the random stimulus generator.
+	Seed int64
+	// ClockHz is the clock frequency for power estimation.
+	ClockHz float64
+	// RefinePasses is the number of detailed-placement improvement passes.
+	RefinePasses int
+	// Thermal configures the thermal grid and solver; its NX/NY also set
+	// the power-map resolution.
+	Thermal thermal.Config
+	// HotspotOptions tunes hotspot detection on the resulting thermal map.
+	HotspotOptions hotspot.Options
+}
+
+// DefaultConfig returns the configuration used by the paper-scale
+// experiments: 85% starting utilization, 1 GHz, 40x40x9 thermal grid.
+func DefaultConfig() Config {
+	return Config{
+		Utilization:    0.85,
+		AspectRatio:    1.0,
+		SimCycles:      128,
+		Seed:           1,
+		ClockHz:        1e9,
+		RefinePasses:   1,
+		Thermal:        thermal.DefaultConfig(),
+		HotspotOptions: hotspot.DefaultOptions(),
+	}
+}
+
+// FastConfig returns a reduced configuration (coarser grid, fewer cycles)
+// for tests and quick exploration.
+func FastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SimCycles = 48
+	cfg.RefinePasses = 0
+	cfg.Thermal.NX = 20
+	cfg.Thermal.NY = 20
+	return cfg
+}
+
+// Flow binds a design and a workload to an analysis configuration and caches
+// the workload-dependent (but placement-independent) switching activity.
+type Flow struct {
+	Design   *netlist.Design
+	Workload bench.Workload
+	Config   Config
+
+	activity *logicsim.Activity
+}
+
+// New creates a flow for the design under the given workload.
+func New(d *netlist.Design, wl bench.Workload, cfg Config) *Flow {
+	return &Flow{Design: d, Workload: wl, Config: cfg}
+}
+
+// Activity returns the switching activity of the design under the flow's
+// workload, simulating it on first use and caching the result: the paper's
+// "power estimation based on annotated switching activity of randomly
+// generated test vectors".
+func (f *Flow) Activity() (*logicsim.Activity, error) {
+	if f.activity != nil {
+		return f.activity, nil
+	}
+	stim := logicsim.RandomStimulus(f.Config.Seed, func(port string) float64 {
+		unit := strings.SplitN(port, "_", 2)[0]
+		return f.Workload.ActivityFor(unit)
+	})
+	act, err := logicsim.RunRandom(f.Design, f.Config.SimCycles, stim)
+	if err != nil {
+		return nil, fmt.Errorf("flow: activity simulation: %w", err)
+	}
+	f.activity = act
+	return act, nil
+}
+
+// PlaceAt builds a floorplan at the given utilization and places the design
+// into it (the "Logic and Physical Synthesis" box of the paper's flow).
+func (f *Flow) PlaceAt(utilization float64) (*place.Placement, error) {
+	fp, err := floorplan.New(f.Design, floorplan.Config{
+		Utilization: utilization,
+		AspectRatio: f.Config.AspectRatio,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flow: floorplanning at %.2f utilization: %w", utilization, err)
+	}
+	p, err := place.Place(f.Design, fp)
+	if err != nil {
+		return nil, fmt.Errorf("flow: placement at %.2f utilization: %w", utilization, err)
+	}
+	if f.Config.RefinePasses > 0 {
+		place.RefineHPWL(p, f.Config.RefinePasses)
+		place.InsertFillers(p)
+	}
+	return p, nil
+}
+
+// Baseline places the design at the configured baseline utilization.
+func (f *Flow) Baseline() (*place.Placement, error) { return f.PlaceAt(f.Config.Utilization) }
+
+// Analysis is the full measurement of one placement.
+type Analysis struct {
+	Placement *place.Placement
+	Power     *power.Report
+	// PowerMap is the power per thermal-grid cell in watts (the paper's
+	// power profile, Figure 5 left).
+	PowerMap *geom.Grid
+	// Thermal is the solved thermal result (Figure 5 right).
+	Thermal *thermal.Result
+	// Hotspots are the detected hot regions, hottest first.
+	Hotspots []hotspot.Hotspot
+}
+
+// PeakRise returns the peak temperature rise above ambient in kelvin.
+func (a *Analysis) PeakRise() float64 { return a.Thermal.PeakRise }
+
+// Analyze runs power estimation and thermal simulation on the placement and
+// localizes the hotspots of the resulting thermal map.
+func (f *Flow) Analyze(p *place.Placement) (*Analysis, error) {
+	act, err := f.Activity()
+	if err != nil {
+		return nil, err
+	}
+	rep := power.Estimate(f.Design, p, act, f.Config.ClockHz)
+	tcfg := f.Config.Thermal
+	pm := power.Map(rep, p, tcfg.NX, tcfg.NY)
+	tres, err := thermal.Solve(pm, tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("flow: thermal simulation: %w", err)
+	}
+	spots := hotspot.Detect(tres.RiseMap(), f.Config.HotspotOptions)
+	return &Analysis{
+		Placement: p,
+		Power:     rep,
+		PowerMap:  pm,
+		Thermal:   tres,
+		Hotspots:  spots,
+	}, nil
+}
+
+// AnalyzeBaseline is a convenience wrapper: place at the baseline
+// utilization and analyze the result.
+func (f *Flow) AnalyzeBaseline() (*Analysis, error) {
+	p, err := f.Baseline()
+	if err != nil {
+		return nil, err
+	}
+	return f.Analyze(p)
+}

@@ -1,0 +1,179 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+	"thermplace/internal/netlist"
+)
+
+// smallFlow builds a flow over the small benchmark with a workload that
+// heats the 8-bit multiplier.
+func smallFlow(t *testing.T) *Flow {
+	t.Helper()
+	lib := celllib.Default65nm()
+	d, err := bench.Generate(lib, bench.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := bench.Workload{
+		Name:     "hot-mult8",
+		Activity: map[string]float64{"mult8": 0.6},
+		Default:  0.03,
+	}
+	return New(d, wl, FastConfig())
+}
+
+func TestActivityCachedAndWorkloadDriven(t *testing.T) {
+	f := smallFlow(t)
+	a1, err := f.Activity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := f.Activity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("activity must be cached between calls")
+	}
+	if a1.MeanActivity() <= 0 {
+		t.Fatal("mean activity must be positive")
+	}
+	// The hot unit's cells must switch more than the cold units' cells.
+	sumFor := func(unit string) float64 {
+		total := 0.0
+		for _, inst := range f.Design.InstancesInUnit(unit) {
+			if out := inst.Master.OutputPin(); out != "" {
+				if net := inst.Conn(out); net != nil {
+					total += a1.For(net.Name)
+				}
+			}
+		}
+		return total / float64(len(f.Design.InstancesInUnit(unit)))
+	}
+	if sumFor("mult8") <= sumFor("add16") {
+		t.Fatalf("hot unit mean activity %g should exceed cold unit %g", sumFor("mult8"), sumFor("add16"))
+	}
+}
+
+func TestPlaceAtAndBaseline(t *testing.T) {
+	f := smallFlow(t)
+	p, err := f.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := p.Validate(); len(errs) != 0 {
+		t.Fatalf("baseline placement illegal: %v", errs[0])
+	}
+	got := p.Utilization()
+	if math.Abs(got-f.Config.Utilization) > 0.1 {
+		t.Fatalf("baseline utilization %g too far from target %g", got, f.Config.Utilization)
+	}
+	relaxed, err := f.PlaceAt(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.FP.CoreArea() <= p.FP.CoreArea() {
+		t.Fatal("lower utilization must give a larger core")
+	}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	f := smallFlow(t)
+	an, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Power.Total() <= 0 {
+		t.Fatal("power must be positive")
+	}
+	if an.PowerMap.Sum() <= 0 {
+		t.Fatal("power map must be positive")
+	}
+	if math.Abs(an.PowerMap.Sum()-an.Power.Total()) > 1e-9*an.Power.Total() {
+		t.Fatal("power map must conserve total power")
+	}
+	if an.PeakRise() <= 0 {
+		t.Fatal("peak rise must be positive")
+	}
+	if len(an.Hotspots) == 0 {
+		t.Fatal("the skewed workload must produce at least one hotspot")
+	}
+	// The hottest hotspot must overlap the hot unit's region.
+	hotRegion := an.Placement.FP.RegionOf("mult8")
+	if hotRegion == nil {
+		t.Fatal("no region for mult8")
+	}
+	if !an.Hotspots[0].Rect.Intersects(hotRegion.Rect.Expand(20)) {
+		t.Fatalf("hottest hotspot %v does not overlap the hot unit region %v",
+			an.Hotspots[0].Rect, hotRegion.Rect)
+	}
+	// The thermal grid must cover the core.
+	if an.Thermal.Surface.Region != an.Placement.FP.Core {
+		t.Fatal("thermal map region must equal the core")
+	}
+}
+
+func TestWorkloadChangesHotspotLocation(t *testing.T) {
+	lib := celllib.Default65nm()
+	d, err := bench.Generate(lib, bench.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(hotUnit string) *Analysis {
+		wl := bench.Workload{Name: "hot-" + hotUnit, Activity: map[string]float64{hotUnit: 0.6}, Default: 0.03}
+		f := New(d, wl, FastConfig())
+		an, err := f.AnalyzeBaseline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an
+	}
+	a := run("mult8")
+	b := run("alu8")
+	if len(a.Hotspots) == 0 || len(b.Hotspots) == 0 {
+		t.Fatal("both workloads must produce hotspots")
+	}
+	// The hotspot must follow the hot unit: this is the knob the paper uses
+	// to control hotspot size and position.
+	fpA := a.Placement.FP
+	if !a.Hotspots[0].Rect.Intersects(fpA.RegionOf("mult8").Rect.Expand(20)) {
+		t.Error("mult8 workload hotspot not over mult8")
+	}
+	fpB := b.Placement.FP
+	if !b.Hotspots[0].Rect.Intersects(fpB.RegionOf("alu8").Rect.Expand(20)) {
+		t.Error("alu8 workload hotspot not over alu8")
+	}
+}
+
+func TestAnalyzeRejectsBrokenDesign(t *testing.T) {
+	lib := celllib.Default65nm()
+	d := netlist.NewDesign("broken", lib)
+	// A design with a combinational loop cannot be simulated.
+	u1, _ := d.AddInstance("u1", "INV_X1", "u")
+	u2, _ := d.AddInstance("u2", "INV_X1", "u")
+	n1 := d.GetOrCreateNet("n1")
+	n2 := d.GetOrCreateNet("n2")
+	_ = d.Connect(u1, "A", n2)
+	_ = d.Connect(u1, "Z", n1)
+	_ = d.Connect(u2, "A", n1)
+	_ = d.Connect(u2, "Z", n2)
+	f := New(d, bench.UniformWorkload(0.2), FastConfig())
+	if _, err := f.Activity(); err == nil {
+		t.Fatal("activity extraction on a looped design must fail")
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	def := DefaultConfig()
+	if def.Thermal.NX != 40 || def.ClockHz != 1e9 || def.Utilization != 0.85 {
+		t.Fatalf("unexpected default config: %+v", def)
+	}
+	fast := FastConfig()
+	if fast.Thermal.NX >= def.Thermal.NX || fast.SimCycles >= def.SimCycles {
+		t.Fatal("FastConfig must be cheaper than DefaultConfig")
+	}
+}

@@ -1,0 +1,289 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Grid is a dense 2-D field of float64 values laid over a physical region.
+// It is used for power-density maps, thermal maps and congestion maps.
+// Cell (0,0) is the lower-left cell of the region.
+type Grid struct {
+	NX, NY int  // number of cells in x and y
+	Region Rect // physical region covered by the grid
+	data   []float64
+}
+
+// NewGrid creates an all-zero grid of nx by ny cells covering region.
+// It panics when nx or ny is not positive or the region is empty,
+// because every caller constructs grids from validated configuration.
+func NewGrid(nx, ny int, region Rect) *Grid {
+	if nx <= 0 || ny <= 0 {
+		panic(fmt.Sprintf("geom: invalid grid size %dx%d", nx, ny))
+	}
+	if region.Empty() {
+		panic("geom: empty grid region")
+	}
+	return &Grid{NX: nx, NY: ny, Region: region, data: make([]float64, nx*ny)}
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid) Clone() *Grid {
+	out := &Grid{NX: g.NX, NY: g.NY, Region: g.Region, data: make([]float64, len(g.data))}
+	copy(out.data, g.data)
+	return out
+}
+
+// CellW returns the physical width of one grid cell.
+func (g *Grid) CellW() float64 { return g.Region.W() / float64(g.NX) }
+
+// CellH returns the physical height of one grid cell.
+func (g *Grid) CellH() float64 { return g.Region.H() / float64(g.NY) }
+
+// CellArea returns the physical area of one grid cell.
+func (g *Grid) CellArea() float64 { return g.CellW() * g.CellH() }
+
+// index converts (ix, iy) to a linear index; it panics on out-of-range
+// coordinates since those always indicate a programming error.
+func (g *Grid) index(ix, iy int) int {
+	if ix < 0 || ix >= g.NX || iy < 0 || iy >= g.NY {
+		panic(fmt.Sprintf("geom: grid index (%d,%d) out of range %dx%d", ix, iy, g.NX, g.NY))
+	}
+	return iy*g.NX + ix
+}
+
+// At returns the value stored at cell (ix, iy).
+func (g *Grid) At(ix, iy int) float64 { return g.data[g.index(ix, iy)] }
+
+// Set stores v at cell (ix, iy).
+func (g *Grid) Set(ix, iy int, v float64) { g.data[g.index(ix, iy)] = v }
+
+// Add accumulates v into cell (ix, iy).
+func (g *Grid) Add(ix, iy int, v float64) { g.data[g.index(ix, iy)] += v }
+
+// Fill sets every cell to v.
+func (g *Grid) Fill(v float64) {
+	for i := range g.data {
+		g.data[i] = v
+	}
+}
+
+// Values returns the underlying storage in row-major order (y-major:
+// index = iy*NX + ix). The caller must not resize it.
+func (g *Grid) Values() []float64 { return g.data }
+
+// CellOf returns the grid coordinates of the cell containing physical point
+// p, clamped to the grid boundary.
+func (g *Grid) CellOf(p Point) (ix, iy int) {
+	ix = int(math.Floor((p.X - g.Region.Xlo) / g.CellW()))
+	iy = int(math.Floor((p.Y - g.Region.Ylo) / g.CellH()))
+	return ClampInt(ix, 0, g.NX-1), ClampInt(iy, 0, g.NY-1)
+}
+
+// CellRect returns the physical rectangle covered by cell (ix, iy).
+func (g *Grid) CellRect(ix, iy int) Rect {
+	w, h := g.CellW(), g.CellH()
+	x := g.Region.Xlo + float64(ix)*w
+	y := g.Region.Ylo + float64(iy)*h
+	return Rect{x, y, x + w, y + h}
+}
+
+// CellCenter returns the physical centre of cell (ix, iy).
+func (g *Grid) CellCenter(ix, iy int) Point { return g.CellRect(ix, iy).Center() }
+
+// AddAt accumulates v into the cell containing physical point p.
+func (g *Grid) AddAt(p Point, v float64) {
+	ix, iy := g.CellOf(p)
+	g.Add(ix, iy, v)
+}
+
+// SpreadRect distributes total over all grid cells overlapped by r,
+// proportionally to the overlap area. Rectangles completely outside the
+// grid region contribute nothing.
+func (g *Grid) SpreadRect(r Rect, total float64) {
+	clipped := r.Intersect(g.Region)
+	if clipped.Empty() || total == 0 {
+		return
+	}
+	ix0, iy0 := g.CellOf(Point{clipped.Xlo, clipped.Ylo})
+	ix1, iy1 := g.CellOf(Point{math.Nextafter(clipped.Xhi, clipped.Xlo), math.Nextafter(clipped.Yhi, clipped.Ylo)})
+	area := clipped.Area()
+	if area <= 0 {
+		// Degenerate rectangle: deposit at the containing cell.
+		g.AddAt(clipped.Center(), total)
+		return
+	}
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			ov := g.CellRect(ix, iy).Intersect(clipped).Area()
+			if ov > 0 {
+				g.Add(ix, iy, total*ov/area)
+			}
+		}
+	}
+}
+
+// Max returns the maximum value in the grid and its cell coordinates.
+func (g *Grid) Max() (v float64, ix, iy int) {
+	v = math.Inf(-1)
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			if x := g.At(i, j); x > v {
+				v, ix, iy = x, i, j
+			}
+		}
+	}
+	return v, ix, iy
+}
+
+// Min returns the minimum value in the grid and its cell coordinates.
+func (g *Grid) Min() (v float64, ix, iy int) {
+	v = math.Inf(1)
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			if x := g.At(i, j); x < v {
+				v, ix, iy = x, i, j
+			}
+		}
+	}
+	return v, ix, iy
+}
+
+// Sum returns the sum of all cell values.
+func (g *Grid) Sum() float64 {
+	s := 0.0
+	for _, v := range g.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all cell values.
+func (g *Grid) Mean() float64 { return g.Sum() / float64(len(g.data)) }
+
+// Percentile returns the p-th percentile (0..100) of the cell values.
+func (g *Grid) Percentile(p float64) float64 {
+	vals := make([]float64, len(g.data))
+	copy(vals, g.data)
+	sort.Float64s(vals)
+	if p <= 0 {
+		return vals[0]
+	}
+	if p >= 100 {
+		return vals[len(vals)-1]
+	}
+	idx := p / 100 * float64(len(vals)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := idx - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}
+
+// Gradient returns the maximum absolute difference between any two
+// 4-neighbouring cells; a simple spatial-gradient figure of merit.
+func (g *Grid) Gradient() float64 {
+	max := 0.0
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			v := g.At(i, j)
+			if i+1 < g.NX {
+				if d := math.Abs(v - g.At(i+1, j)); d > max {
+					max = d
+				}
+			}
+			if j+1 < g.NY {
+				if d := math.Abs(v - g.At(i, j+1)); d > max {
+					max = d
+				}
+			}
+		}
+	}
+	return max
+}
+
+// Resample returns a new grid with nx by ny cells covering the same region,
+// where each target cell receives the area-weighted average of the source.
+func (g *Grid) Resample(nx, ny int) *Grid {
+	out := NewGrid(nx, ny, g.Region)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			cell := out.CellRect(i, j)
+			total, area := 0.0, 0.0
+			// Find overlapping source cells.
+			sx0, sy0 := g.CellOf(Point{cell.Xlo, cell.Ylo})
+			sx1, sy1 := g.CellOf(Point{math.Nextafter(cell.Xhi, cell.Xlo), math.Nextafter(cell.Yhi, cell.Ylo)})
+			for sy := sy0; sy <= sy1; sy++ {
+				for sx := sx0; sx <= sx1; sx++ {
+					ov := g.CellRect(sx, sy).Intersect(cell).Area()
+					total += g.At(sx, sy) * ov
+					area += ov
+				}
+			}
+			if area > 0 {
+				out.Set(i, j, total/area)
+			}
+		}
+	}
+	return out
+}
+
+// Scale multiplies every cell by k and returns the grid for chaining.
+func (g *Grid) Scale(k float64) *Grid {
+	for i := range g.data {
+		g.data[i] *= k
+	}
+	return g
+}
+
+// AddGrid accumulates other into g cell-by-cell; the two grids must have the
+// same dimensions.
+func (g *Grid) AddGrid(other *Grid) {
+	if g.NX != other.NX || g.NY != other.NY {
+		panic("geom: AddGrid dimension mismatch")
+	}
+	for i := range g.data {
+		g.data[i] += other.data[i]
+	}
+}
+
+// String renders the grid as a whitespace-separated matrix with the
+// top row (largest y) first, matching the orientation of the paper's plots.
+func (g *Grid) String() string {
+	var b strings.Builder
+	for j := g.NY - 1; j >= 0; j-- {
+		for i := 0; i < g.NX; i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", g.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ASCIIHeatmap renders a coarse character heat-map of the grid using the
+// provided palette (from coldest to hottest); handy for terminal inspection.
+func (g *Grid) ASCIIHeatmap() string {
+	palette := []byte(" .:-=+*#%@")
+	lo, _, _ := g.Min()
+	hi, _, _ := g.Max()
+	span := hi - lo
+	var b strings.Builder
+	for j := g.NY - 1; j >= 0; j-- {
+		for i := 0; i < g.NX; i++ {
+			idx := 0
+			if span > 0 {
+				idx = int((g.At(i, j) - lo) / span * float64(len(palette)-1))
+			}
+			b.WriteByte(palette[ClampInt(idx, 0, len(palette)-1)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"thermplace/internal/celllib"
+)
+
+func TestVerilogRoundTrip(t *testing.T) {
+	d := buildSmallDesign(t)
+	var buf strings.Builder
+	if err := WriteVerilog(&buf, d); err != nil {
+		t.Fatalf("WriteVerilog: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{"module tiny", "input a", "output z", "wire n1", "NAND2_X1 u1", "(* unit = \"blockA\" *)", "endmodule"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("verilog output missing %q:\n%s", want, text)
+		}
+	}
+
+	got, err := ParseVerilog(strings.NewReader(text), d.Lib)
+	if err != nil {
+		t.Fatalf("ParseVerilog: %v", err)
+	}
+	if got.Name != d.Name {
+		t.Fatalf("module name %q != %q", got.Name, d.Name)
+	}
+	if got.NumInstances() != d.NumInstances() || got.NumNets() != d.NumNets() || len(got.Ports()) != len(d.Ports()) {
+		t.Fatalf("structure mismatch after round trip: %d/%d instances, %d/%d nets, %d/%d ports",
+			got.NumInstances(), d.NumInstances(), got.NumNets(), d.NumNets(), len(got.Ports()), len(d.Ports()))
+	}
+	if errs := got.Check(); len(errs) != 0 {
+		t.Fatalf("round-tripped design fails Check: %v", errs)
+	}
+	u1 := got.Instance("u1")
+	if u1 == nil || u1.Unit != "blockA" {
+		t.Fatalf("unit attribute lost: %+v", u1)
+	}
+	if u1.Conn("A") == nil || u1.Conn("A").Name != "a" {
+		t.Fatalf("u1.A connection lost")
+	}
+	n1 := got.Net("n1")
+	if n1 == nil || n1.Driver.String() != "u1.Z" || len(n1.Loads) != 1 {
+		t.Fatalf("n1 connectivity lost: %+v", n1)
+	}
+}
+
+func TestParseVerilogHandComposed(t *testing.T) {
+	src := `
+// hand-written example
+module half_adder (a, b, sum, carry);
+  input a;
+  input b;
+  output sum, carry;
+  XOR2_X1 x1 (.A(a), .B(b), .Z(sum));
+  AND2_X1 a1 (.A(a), .B(b), .Z(carry));
+endmodule
+`
+	d, err := ParseVerilog(strings.NewReader(src), celllib.Default65nm())
+	if err != nil {
+		t.Fatalf("ParseVerilog: %v", err)
+	}
+	if d.Name != "half_adder" || d.NumInstances() != 2 || len(d.Ports()) != 4 {
+		t.Fatalf("parsed structure wrong: %s, %d instances, %d ports", d.Name, d.NumInstances(), len(d.Ports()))
+	}
+	if errs := d.Check(); len(errs) != 0 {
+		t.Fatalf("Check: %v", errs)
+	}
+	sum := d.Net("sum")
+	if sum.Driver.String() != "x1.Z" {
+		t.Fatalf("sum driver = %v", sum.Driver)
+	}
+}
+
+func TestParseVerilogErrors(t *testing.T) {
+	lib := celllib.Default65nm()
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing module", "input a;"},
+		{"missing endmodule", "module m (a); input a;"},
+		{"unknown master", "module m (a); input a; BOGUS u1 (.A(a)); endmodule"},
+		{"unknown pin", "module m (a); input a; INV_X1 u1 (.Q(a)); endmodule"},
+		{"undeclared port", "module m (a, b); input a; INV_X1 u1 (.A(a), .Z(b)); endmodule"},
+		{"unsupported attribute", "module m (a); input a; (* color = \"red\" *) INV_X1 u1 (.A(a), .Z(n)); endmodule"},
+		{"duplicate instance", "module m (a); input a; INV_X1 u1 (.A(a), .Z(n)); INV_X1 u1 (.A(n), .Z(k)); endmodule"},
+	}
+	for _, c := range cases {
+		if _, err := ParseVerilog(strings.NewReader(c.src), lib); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseVerilogMultiBitWires(t *testing.T) {
+	src := `
+module m (a, z);
+  input a;
+  output z;
+  wire n1, n2, n3;
+  INV_X1 u1 (.A(a), .Z(n1));
+  INV_X1 u2 (.A(n1), .Z(n2));
+  INV_X1 u3 (.A(n2), .Z(n3));
+  BUF_X1 u4 (.A(n3), .Z(z));
+endmodule
+`
+	d, err := ParseVerilog(strings.NewReader(src), celllib.Default65nm())
+	if err != nil {
+		t.Fatalf("ParseVerilog: %v", err)
+	}
+	if d.NumNets() != 5 {
+		t.Fatalf("NumNets = %d, want 5", d.NumNets())
+	}
+	if errs := d.Check(); len(errs) != 0 {
+		t.Fatalf("Check: %v", errs)
+	}
+}

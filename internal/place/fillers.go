@@ -1,0 +1,76 @@
+package place
+
+import "sort"
+
+// InsertFillers fills every gap between placed cells (and between cells and
+// the row ends) with the widest filler masters that fit, replacing any
+// previously recorded fillers. Filler cells consume no power; they exist to
+// keep the power/ground rails continuous across the whitespace the
+// temperature-reduction techniques allocate, exactly as described in the
+// paper, and to make whitespace accounting explicit.
+//
+// It returns the total filler area inserted in um^2.
+func InsertFillers(p *Placement) float64 {
+	fp := p.FP
+	fillers := p.Design.Lib.Fillers()
+	p.Fillers = p.Fillers[:0]
+	if len(fillers) == 0 {
+		return 0
+	}
+	minWidth := fillers[len(fillers)-1].Width
+	totalArea := 0.0
+
+	for row := 0; row < fp.NumRows(); row++ {
+		r := fp.Rows[row]
+		occ := p.rowOccupants(row)
+		sort.Slice(occ, func(i, j int) bool {
+			li, _ := p.Loc(occ[i])
+			lj, _ := p.Loc(occ[j])
+			return li.X < lj.X
+		})
+		cursor := r.X0
+		fillGap := func(from, to float64) {
+			gap := to - from
+			x := from
+			for gap >= minWidth-1e-9 {
+				placed := false
+				for _, f := range fillers {
+					if f.Width <= gap+1e-9 {
+						p.Fillers = append(p.Fillers, Filler{Master: f, X: x, Y: r.Y, Row: row})
+						totalArea += f.Width * fp.RowHeight
+						x += f.Width
+						gap -= f.Width
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					break
+				}
+			}
+		}
+		for _, inst := range occ {
+			l, _ := p.Loc(inst)
+			if l.X > cursor {
+				fillGap(cursor, l.X)
+			}
+			end := l.X + inst.Master.Width
+			if end > cursor {
+				cursor = end
+			}
+		}
+		if cursor < r.X1 {
+			fillGap(cursor, r.X1)
+		}
+	}
+	return totalArea
+}
+
+// FillerArea returns the total area currently occupied by filler cells.
+func (p *Placement) FillerArea() float64 {
+	total := 0.0
+	for _, f := range p.Fillers {
+		total += f.Master.Width * p.FP.RowHeight
+	}
+	return total
+}

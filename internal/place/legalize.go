@@ -1,0 +1,165 @@
+package place
+
+import (
+	"sort"
+
+	"thermplace/internal/netlist"
+)
+
+// Legalize turns an arbitrary (possibly overlapping, off-grid) placement
+// into a legal one while moving cells as little as possible:
+//
+//  1. every cell is snapped to its nearest row,
+//  2. rows whose contents exceed their capacity spill their right-most
+//     cells into the nearest row with free space,
+//  3. within every row, cells keep their left-to-right order and are shifted
+//     just enough to remove overlaps and stay inside the row, snapped to the
+//     site grid.
+//
+// This is a simplified Tetris/Abacus-style legalizer: adequate for the
+// post-placement transforms, which only perturb cells locally.
+func Legalize(p *Placement) {
+	fp := p.FP
+	// Pass 1: snap each cell to the nearest row.
+	rowCells := make([][]*netlist.Instance, fp.NumRows())
+	for _, inst := range p.Design.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		l, ok := p.Loc(inst)
+		if !ok {
+			continue
+		}
+		row := fp.RowAt(l.Y + fp.RowHeight/2)
+		l.Row = row.Index
+		l.Y = row.Y
+		p.SetLoc(inst, l)
+		rowCells[row.Index] = append(rowCells[row.Index], inst)
+	}
+
+	rowUsed := func(row int) float64 {
+		used := 0.0
+		for _, c := range rowCells[row] {
+			used += c.Master.Width
+		}
+		return used
+	}
+
+	// Pass 2: spill overfull rows into the nearest rows with space.
+	for row := 0; row < fp.NumRows(); row++ {
+		capacity := fp.Rows[row].Width()
+		for rowUsed(row) > capacity && len(rowCells[row]) > 0 {
+			// Evict the cell farthest from the row centre in x (cheapest to
+			// move without disturbing the packed middle).
+			cells := rowCells[row]
+			sort.Slice(cells, func(i, j int) bool {
+				li, _ := p.Loc(cells[i])
+				lj, _ := p.Loc(cells[j])
+				if li.X != lj.X {
+					return li.X < lj.X
+				}
+				return cells[i].Name < cells[j].Name
+			})
+			victim := cells[len(cells)-1]
+			rowCells[row] = cells[:len(cells)-1]
+			target := findRowWithSpace(p, rowCells, row, victim.Master.Width)
+			if target < 0 {
+				// No space anywhere: keep the cell in place; Validate will
+				// flag the overflow for the caller.
+				rowCells[row] = append(rowCells[row], victim)
+				break
+			}
+			l, _ := p.Loc(victim)
+			l.Row = target
+			l.Y = fp.Rows[target].Y
+			p.SetLoc(victim, l)
+			rowCells[target] = append(rowCells[target], victim)
+		}
+	}
+
+	// Pass 3: remove overlaps within each row with a two-sided sweep.
+	for row := 0; row < fp.NumRows(); row++ {
+		packRow(p, rowCells[row], fp.Rows[row].X0, fp.Rows[row].X1)
+	}
+}
+
+// findRowWithSpace returns the row index nearest to from that can absorb an
+// extra cell of the given width, or -1 when none exists.
+func findRowWithSpace(p *Placement, rowCells [][]*netlist.Instance, from int, width float64) int {
+	fp := p.FP
+	used := func(row int) float64 {
+		u := 0.0
+		for _, c := range rowCells[row] {
+			u += c.Master.Width
+		}
+		return u
+	}
+	for d := 1; d < fp.NumRows(); d++ {
+		for _, row := range []int{from - d, from + d} {
+			if row < 0 || row >= fp.NumRows() {
+				continue
+			}
+			if used(row)+width <= fp.Rows[row].Width() {
+				return row
+			}
+		}
+	}
+	return -1
+}
+
+// packRow removes overlaps between the cells of one row while keeping their
+// left-to-right order, clamping everything into [x0, x1] and snapping to the
+// site grid.
+func packRow(p *Placement, cells []*netlist.Instance, x0, x1 float64) {
+	if len(cells) == 0 {
+		return
+	}
+	fp := p.FP
+	sort.Slice(cells, func(i, j int) bool {
+		li, _ := p.Loc(cells[i])
+		lj, _ := p.Loc(cells[j])
+		if li.X != lj.X {
+			return li.X < lj.X
+		}
+		return cells[i].Name < cells[j].Name
+	})
+	// Left-to-right sweep: push cells right so they do not overlap.
+	prevEnd := x0
+	for _, c := range cells {
+		l, _ := p.Loc(c)
+		x := l.X
+		if x < prevEnd {
+			x = prevEnd
+		}
+		x = snapDown(x-fp.Core.Xlo, fp.SiteWidth) + fp.Core.Xlo
+		if x < prevEnd-1e-9 {
+			x += fp.SiteWidth
+		}
+		l.X = x
+		p.SetLoc(c, l)
+		prevEnd = x + c.Master.Width
+	}
+	// If the row overflowed on the right, re-pack the row contiguously so
+	// that it ends at x1 (or starts at x0 when even a contiguous packing is
+	// tight), preserving cell order. Positions stay site-aligned because all
+	// cell widths are site multiples.
+	last := cells[len(cells)-1]
+	lLast, _ := p.Loc(last)
+	if lLast.X+last.Master.Width > x1+1e-9 {
+		totalWidth := 0.0
+		for _, c := range cells {
+			totalWidth += c.Master.Width
+		}
+		start := snapDown(x1-totalWidth-fp.Core.Xlo, fp.SiteWidth) + fp.Core.Xlo
+		if start < x0 {
+			start = x0
+		}
+		x := start
+		for _, c := range cells {
+			l, _ := p.Loc(c)
+			l.X = x
+			p.SetLoc(c, l)
+			x += c.Master.Width
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package place provides a row-based standard-cell placement engine: a
+// placement data model (cell locations, fillers, wirelength and density
+// queries), a region-constrained global placer, a Tetris-style legalizer and
+// a filler-insertion pass. Together they stand in for the commercial
+// floorplanning/placement tool (Synopsys IC Compiler) used by the paper.
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"thermplace/internal/celllib"
+	"thermplace/internal/floorplan"
+	"thermplace/internal/geom"
+	"thermplace/internal/netlist"
+)
+
+// Loc is the placed location of a cell instance: the lower-left corner of
+// its bounding box and the row index it sits in.
+type Loc struct {
+	X, Y float64
+	Row  int
+}
+
+// Filler is one dummy cell inserted into leftover row whitespace. Fillers
+// are tracked in the placement rather than the netlist because they carry no
+// electrical function; they exist to keep rail continuity and to make the
+// whitespace accounting explicit, as in the paper.
+type Filler struct {
+	Master *celllib.Master
+	X, Y   float64
+	Row    int
+}
+
+// Rect returns the physical rectangle of the filler cell.
+func (f Filler) Rect(rowHeight float64) geom.Rect {
+	return geom.Rect{Xlo: f.X, Ylo: f.Y, Xhi: f.X + f.Master.Width, Yhi: f.Y + rowHeight}
+}
+
+// Placement binds a design to cell locations within a floorplan.
+type Placement struct {
+	Design *netlist.Design
+	FP     *floorplan.Floorplan
+
+	locs     map[*netlist.Instance]Loc
+	portLocs map[*netlist.Port]geom.Point
+	// Fillers are the dummy cells occupying whitespace.
+	Fillers []Filler
+}
+
+// NewPlacement creates an empty placement for the design and floorplan.
+func NewPlacement(d *netlist.Design, fp *floorplan.Floorplan) *Placement {
+	return &Placement{
+		Design:   d,
+		FP:       fp,
+		locs:     make(map[*netlist.Instance]Loc, d.NumInstances()),
+		portLocs: make(map[*netlist.Port]geom.Point, len(d.Ports())),
+	}
+}
+
+// SetLoc places (or re-places) the instance at loc.
+func (p *Placement) SetLoc(inst *netlist.Instance, loc Loc) { p.locs[inst] = loc }
+
+// Loc returns the location of the instance and whether it has been placed.
+func (p *Placement) Loc(inst *netlist.Instance) (Loc, bool) {
+	l, ok := p.locs[inst]
+	return l, ok
+}
+
+// SetPortLoc records the physical position of a top-level port (pad).
+func (p *Placement) SetPortLoc(port *netlist.Port, pt geom.Point) { p.portLocs[port] = pt }
+
+// PortLoc returns the position of a port and whether it is known.
+func (p *Placement) PortLoc(port *netlist.Port) (geom.Point, bool) {
+	pt, ok := p.portLocs[port]
+	return pt, ok
+}
+
+// CellRect returns the physical rectangle of a placed instance.
+func (p *Placement) CellRect(inst *netlist.Instance) (geom.Rect, bool) {
+	l, ok := p.locs[inst]
+	if !ok {
+		return geom.Rect{}, false
+	}
+	return geom.Rect{
+		Xlo: l.X, Ylo: l.Y,
+		Xhi: l.X + inst.Master.Width, Yhi: l.Y + p.FP.RowHeight,
+	}, true
+}
+
+// Center returns the centre of a placed instance (zero point when unplaced).
+func (p *Placement) Center(inst *netlist.Instance) geom.Point {
+	r, ok := p.CellRect(inst)
+	if !ok {
+		return geom.Point{}
+	}
+	return r.Center()
+}
+
+// Clone returns a deep copy of the placement, including a cloned floorplan
+// so that post-placement transforms never alias the original.
+func (p *Placement) Clone() *Placement {
+	out := &Placement{
+		Design:   p.Design,
+		FP:       p.FP.Clone(),
+		locs:     make(map[*netlist.Instance]Loc, len(p.locs)),
+		portLocs: make(map[*netlist.Port]geom.Point, len(p.portLocs)),
+		Fillers:  append([]Filler(nil), p.Fillers...),
+	}
+	for k, v := range p.locs {
+		out.locs[k] = v
+	}
+	for k, v := range p.portLocs {
+		out.portLocs[k] = v
+	}
+	return out
+}
+
+// pinPoint returns the physical point of a net pin reference: the centre of
+// the owning cell, or the port pad location.
+func (p *Placement) pinPoint(ref netlist.PinRef) (geom.Point, bool) {
+	if ref.IsPort() {
+		pt, ok := p.portLocs[ref.Port]
+		return pt, ok
+	}
+	if ref.Inst == nil {
+		return geom.Point{}, false
+	}
+	r, ok := p.CellRect(ref.Inst)
+	if !ok {
+		return geom.Point{}, false
+	}
+	return r.Center(), true
+}
+
+// NetBBox returns the bounding box of all placed pins of the net.
+func (p *Placement) NetBBox(n *netlist.Net) geom.Rect {
+	var pts []geom.Point
+	if pt, ok := p.pinPoint(n.Driver); ok {
+		pts = append(pts, pt)
+	}
+	for _, l := range n.Loads {
+		if pt, ok := p.pinPoint(l); ok {
+			pts = append(pts, pt)
+		}
+	}
+	return geom.BoundingBox(pts)
+}
+
+// HPWL returns the half-perimeter wirelength of the net in um.
+func (p *Placement) HPWL(n *netlist.Net) float64 { return p.NetBBox(n).HalfPerimeter() }
+
+// TotalHPWL returns the summed half-perimeter wirelength of all nets.
+func (p *Placement) TotalHPWL() float64 {
+	total := 0.0
+	for _, n := range p.Design.Nets() {
+		total += p.HPWL(n)
+	}
+	return total
+}
+
+// CellDensityGrid returns an nx-by-ny grid over the core where each cell
+// holds the standard-cell area (um^2) placed inside it, fillers excluded.
+// Dividing by geom.Grid.CellArea gives the local utilization.
+func (p *Placement) CellDensityGrid(nx, ny int) *geom.Grid {
+	g := geom.NewGrid(nx, ny, p.FP.Core)
+	for _, inst := range p.Design.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		if r, ok := p.CellRect(inst); ok {
+			g.SpreadRect(r, r.Area())
+		}
+	}
+	return g
+}
+
+// UtilizationGrid returns the local utilization (0..1+) per grid cell.
+func (p *Placement) UtilizationGrid(nx, ny int) *geom.Grid {
+	g := p.CellDensityGrid(nx, ny)
+	return g.Scale(1 / g.CellArea())
+}
+
+// PlacedArea returns the total placed non-filler cell area in um^2.
+func (p *Placement) PlacedArea() float64 {
+	total := 0.0
+	for inst := range p.locs {
+		if !inst.IsFiller() {
+			total += inst.Master.Area(p.FP.RowHeight)
+		}
+	}
+	return total
+}
+
+// Utilization returns placed cell area divided by core area, the paper's
+// utilization-factor definition.
+func (p *Placement) Utilization() float64 { return p.PlacedArea() / p.FP.CoreArea() }
+
+// InstancesInRect returns the placed non-filler instances whose centres lie
+// inside r.
+func (p *Placement) InstancesInRect(r geom.Rect) []*netlist.Instance {
+	var out []*netlist.Instance
+	for _, inst := range p.Design.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		if _, ok := p.locs[inst]; !ok {
+			continue
+		}
+		if r.Contains(p.Center(inst)) {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// rowOccupants returns placed instances in the given row sorted by x.
+func (p *Placement) rowOccupants(row int) []*netlist.Instance {
+	var out []*netlist.Instance
+	for _, inst := range p.Design.Instances() {
+		if l, ok := p.locs[inst]; ok && l.Row == row {
+			out = append(out, inst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := p.locs[out[i]], p.locs[out[j]]
+		if li.X != lj.X {
+			return li.X < lj.X
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Validate checks the placement for physical legality: every non-filler
+// instance placed, inside the core, aligned to rows and sites, and with no
+// overlaps within a row. It returns all violations found (possibly empty).
+func (p *Placement) Validate() []error {
+	var errs []error
+	fp := p.FP
+	eps := 1e-6
+	for _, inst := range p.Design.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		l, ok := p.locs[inst]
+		if !ok {
+			errs = append(errs, fmt.Errorf("place: instance %q not placed", inst.Name))
+			continue
+		}
+		r, _ := p.CellRect(inst)
+		if r.Xlo < fp.Core.Xlo-eps || r.Xhi > fp.Core.Xhi+eps || r.Ylo < fp.Core.Ylo-eps || r.Yhi > fp.Core.Yhi+eps {
+			errs = append(errs, fmt.Errorf("place: instance %q outside core: %v", inst.Name, r))
+		}
+		if l.Row < 0 || l.Row >= fp.NumRows() {
+			errs = append(errs, fmt.Errorf("place: instance %q in invalid row %d", inst.Name, l.Row))
+			continue
+		}
+		if rowY := fp.Rows[l.Row].Y; math.Abs(l.Y-rowY) > eps {
+			errs = append(errs, fmt.Errorf("place: instance %q y=%g not aligned to row %d (y=%g)", inst.Name, l.Y, l.Row, rowY))
+		}
+		if site := fp.SiteWidth; math.Abs(math.Mod(l.X-fp.Core.Xlo, site)) > eps && math.Abs(math.Mod(l.X-fp.Core.Xlo, site)-site) > eps {
+			errs = append(errs, fmt.Errorf("place: instance %q x=%g not aligned to site grid", inst.Name, l.X))
+		}
+	}
+	// Overlap check per row.
+	for row := 0; row < fp.NumRows(); row++ {
+		occ := p.rowOccupants(row)
+		for i := 1; i < len(occ); i++ {
+			prev, cur := p.locs[occ[i-1]], p.locs[occ[i]]
+			prevEnd := prev.X + occ[i-1].Master.Width
+			if cur.X < prevEnd-eps {
+				errs = append(errs, fmt.Errorf("place: overlap in row %d between %q and %q", row, occ[i-1].Name, occ[i].Name))
+			}
+		}
+	}
+	return errs
+}
+
+// WhitespacePerRow returns, for every row, the total unoccupied width in um
+// (fillers are not counted as occupancy).
+func (p *Placement) WhitespacePerRow() []float64 {
+	out := make([]float64, p.FP.NumRows())
+	for row := range out {
+		used := 0.0
+		for _, inst := range p.rowOccupants(row) {
+			used += inst.Master.Width
+		}
+		out[row] = p.FP.Rows[row].Width() - used
+	}
+	return out
+}

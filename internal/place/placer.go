@@ -1,0 +1,380 @@
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"thermplace/internal/floorplan"
+	"thermplace/internal/geom"
+	"thermplace/internal/netlist"
+)
+
+// Place produces a legal region-constrained placement of the design inside
+// the floorplan:
+//
+//   - every logical unit is placed inside its floorplan region,
+//   - within a region, cells are packed row by row in connectivity order so
+//     that most nets stay within a row or between adjacent rows (the
+//     property the paper relies on for the near-zero timing overhead of
+//     empty-row insertion),
+//   - the whitespace implied by the utilization factor is distributed
+//     uniformly inside each region, mimicking a commercial placer's
+//     density-balanced result,
+//   - top-level ports are assigned pad positions around the core boundary.
+//
+// The result is legalized and filler cells are inserted into the remaining
+// gaps, so the returned placement passes Validate.
+func Place(d *netlist.Design, fp *floorplan.Floorplan) (*Placement, error) {
+	p := NewPlacement(d, fp)
+
+	// Group instances by unit; untagged cells join the largest unit (the
+	// floorplanner folded their area into that region).
+	groups := make(map[string][]*netlist.Instance)
+	for _, inst := range d.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		groups[inst.Unit] = append(groups[inst.Unit], inst)
+	}
+	if untagged, ok := groups[""]; ok && len(groups) > 1 {
+		delete(groups, "")
+		largest, largestArea := "", -1.0
+		for unit := range groups {
+			if reg := fp.RegionOf(unit); reg != nil && reg.CellArea > largestArea {
+				largest, largestArea = unit, reg.CellArea
+			}
+		}
+		if largest == "" {
+			return nil, fmt.Errorf("place: cannot assign untagged cells: no unit regions")
+		}
+		groups[largest] = append(groups[largest], untagged...)
+	}
+
+	unitNames := make([]string, 0, len(groups))
+	for u := range groups {
+		unitNames = append(unitNames, u)
+	}
+	sort.Strings(unitNames)
+
+	for _, unit := range unitNames {
+		cells := groups[unit]
+		region := fp.Core
+		if reg := fp.RegionOf(unit); reg != nil {
+			region = reg.Rect
+		}
+		ordered := orderByConnectivity(d, cells)
+		if err := placeInRegion(p, ordered, region); err != nil {
+			return nil, fmt.Errorf("place: unit %q: %w", unit, err)
+		}
+	}
+
+	placePorts(p)
+	Legalize(p)
+	InsertFillers(p)
+	return p, nil
+}
+
+// SpreadIntoRegion re-places the given cells uniformly across the rows
+// overlapping the region, distributing the region's whitespace evenly.
+// Cell order is preserved (so locality established by an earlier placement
+// survives). It is the building block the hotspot-wrapper transform uses to
+// "evenly redistribute the hot cells" inside the wrapper, and it leaves the
+// placement in a pre-legalization state: callers should run Legalize and
+// InsertFillers afterwards.
+func SpreadIntoRegion(p *Placement, cells []*netlist.Instance, region geom.Rect) error {
+	return placeInRegion(p, cells, region)
+}
+
+// orderByConnectivity orders cells with a breadth-first traversal of the
+// connectivity graph restricted to the given cell set, starting from the
+// first cell in creation order. Cells unreachable from earlier seeds start
+// new BFS waves, so the result is a locality-preserving linear order.
+func orderByConnectivity(d *netlist.Design, cells []*netlist.Instance) []*netlist.Instance {
+	inSet := make(map[*netlist.Instance]bool, len(cells))
+	for _, c := range cells {
+		inSet[c] = true
+	}
+	visited := make(map[*netlist.Instance]bool, len(cells))
+	var out []*netlist.Instance
+	var queue []*netlist.Instance
+
+	visit := func(inst *netlist.Instance) {
+		if inst == nil || !inSet[inst] || visited[inst] {
+			return
+		}
+		visited[inst] = true
+		queue = append(queue, inst)
+	}
+
+	for _, seed := range cells {
+		if visited[seed] {
+			continue
+		}
+		visit(seed)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			out = append(out, cur)
+			// Neighbours: all instances sharing a net with cur, visited in
+			// the master's pin order so the traversal is deterministic.
+			for _, pin := range cur.Master.Pins {
+				net := cur.Conn(pin.Name)
+				if net == nil {
+					continue
+				}
+				// Skip very high fanout nets (clock-like) to avoid
+				// collapsing locality.
+				if len(net.Loads) > 32 {
+					continue
+				}
+				visit(net.Driver.Inst)
+				for _, l := range net.Loads {
+					visit(l.Inst)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// placeInRegion packs the ordered cells into the rows overlapping the
+// region, spreading the region's whitespace uniformly between cells.
+func placeInRegion(p *Placement, cells []*netlist.Instance, region geom.Rect) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	fp := p.FP
+	// Rows overlapping the region by at least half a row height.
+	var rows []floorplan.Row
+	for _, r := range fp.Rows {
+		rr := r.Rect(fp.RowHeight)
+		overlap := rr.Intersect(region)
+		if overlap.H() >= fp.RowHeight/2 {
+			rows = append(rows, floorplan.Row{
+				Index: r.Index,
+				Y:     r.Y,
+				X0:    max(r.X0, region.Xlo),
+				X1:    min(r.X1, region.Xhi),
+			})
+		}
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no rows overlap region %v", region)
+	}
+	totalWidth := 0.0
+	for _, c := range cells {
+		totalWidth += c.Master.Width
+	}
+	capacity := 0.0
+	for _, r := range rows {
+		capacity += r.Width()
+	}
+	if totalWidth > capacity {
+		return fmt.Errorf("cells (%.1f um) exceed region row capacity (%.1f um)", totalWidth, capacity)
+	}
+	// Distribute cells to rows proportionally to row width so every row gets
+	// the same local utilization, then spread within the row. Only cells
+	// placed by this call are tracked here: other units' cells in shared
+	// boundary rows are never disturbed.
+	targetPerRow := make([]float64, len(rows))
+	for i, r := range rows {
+		targetPerRow[i] = totalWidth * r.Width() / capacity
+	}
+	placedInRow := make([][]*netlist.Instance, len(rows))
+	widthInRow := make([]float64, len(rows))
+	ci := 0
+	for i, r := range rows {
+		for ci < len(cells) {
+			c := cells[ci]
+			if widthInRow[i]+c.Master.Width > r.Width() {
+				break
+			}
+			// Stop once the proportional target is met (except in the last
+			// row, which absorbs whatever remains and fits).
+			if i < len(rows)-1 && widthInRow[i] >= targetPerRow[i] {
+				break
+			}
+			placedInRow[i] = append(placedInRow[i], c)
+			widthInRow[i] += c.Master.Width
+			ci++
+		}
+	}
+	// Leftovers from rounding or capacity-limited rows: append to any region
+	// row that still has space for them.
+	for i, r := range rows {
+		if ci >= len(cells) {
+			break
+		}
+		for ci < len(cells) && widthInRow[i]+cells[ci].Master.Width <= r.Width() {
+			placedInRow[i] = append(placedInRow[i], cells[ci])
+			widthInRow[i] += cells[ci].Master.Width
+			ci++
+		}
+	}
+	// Fragmentation fallback: the region has enough total capacity (checked
+	// above) but no single row has room for the next cell. Put each stray
+	// cell into the row with the most free space, accepting a temporary
+	// overflow of at most one cell width; the legalizer run by Place spills
+	// it into an adjacent row afterwards.
+	for ci < len(cells) {
+		best, bestFree := -1, -1.0
+		for i, r := range rows {
+			if free := r.Width() - widthInRow[i]; free > bestFree {
+				best, bestFree = i, free
+			}
+		}
+		c := cells[ci]
+		placedInRow[best] = append(placedInRow[best], c)
+		widthInRow[best] += c.Master.Width
+		ci++
+	}
+	for i, r := range rows {
+		spreadInRow(p, placedInRow[i], r, widthInRow[i])
+	}
+	return nil
+}
+
+// spreadInRow places the cells left to right in the row segment, inserting
+// equal gaps so that the row's whitespace is uniformly distributed.
+func spreadInRow(p *Placement, cells []*netlist.Instance, r floorplan.Row, usedWidth float64) {
+	if len(cells) == 0 {
+		return
+	}
+	fp := p.FP
+	slack := r.Width() - usedWidth
+	if slack < 0 {
+		slack = 0
+	}
+	gap := slack / float64(len(cells)+1)
+	x := r.X0 + gap
+	for _, c := range cells {
+		sx := snapDown(x-fp.Core.Xlo, fp.SiteWidth) + fp.Core.Xlo
+		if sx < r.X0 {
+			sx = r.X0
+		}
+		p.SetLoc(c, Loc{X: sx, Y: r.Y, Row: r.Index})
+		x = sx + c.Master.Width + gap
+	}
+}
+
+// placePorts assigns pad locations around the core boundary, inputs along
+// the left and bottom edges and outputs along the right and top edges.
+func placePorts(p *Placement) {
+	var ins, outs []*netlist.Port
+	for _, port := range p.Design.Ports() {
+		if port.Dir == netlist.In {
+			ins = append(ins, port)
+		} else {
+			outs = append(outs, port)
+		}
+	}
+	core := p.FP.Core
+	perim := func(ports []*netlist.Port, start, end geom.Point, altStart, altEnd geom.Point) {
+		n := len(ports)
+		if n == 0 {
+			return
+		}
+		half := (n + 1) / 2
+		for i, port := range ports {
+			if i < half {
+				t := float64(i+1) / float64(half+1)
+				p.SetPortLoc(port, geom.Point{X: start.X + t*(end.X-start.X), Y: start.Y + t*(end.Y-start.Y)})
+			} else {
+				t := float64(i-half+1) / float64(n-half+1)
+				p.SetPortLoc(port, geom.Point{X: altStart.X + t*(altEnd.X-altStart.X), Y: altStart.Y + t*(altEnd.Y-altStart.Y)})
+			}
+		}
+	}
+	perim(ins,
+		geom.Point{X: core.Xlo, Y: core.Ylo}, geom.Point{X: core.Xlo, Y: core.Yhi},
+		geom.Point{X: core.Xlo, Y: core.Ylo}, geom.Point{X: core.Xhi, Y: core.Ylo})
+	perim(outs,
+		geom.Point{X: core.Xhi, Y: core.Ylo}, geom.Point{X: core.Xhi, Y: core.Yhi},
+		geom.Point{X: core.Xlo, Y: core.Yhi}, geom.Point{X: core.Xhi, Y: core.Yhi})
+}
+
+// RefineHPWL performs a bounded greedy detailed-placement pass: it sweeps
+// every row and swaps adjacent cells when doing so reduces the total
+// half-perimeter wirelength of the nets touching them. It returns the number
+// of accepted swaps. The pass preserves legality (swapped cells exchange
+// positions adjusted for their widths).
+func RefineHPWL(p *Placement, passes int) int {
+	accepted := 0
+	for pass := 0; pass < passes; pass++ {
+		improvedThisPass := 0
+		for row := 0; row < p.FP.NumRows(); row++ {
+			occ := p.rowOccupants(row)
+			for i := 0; i+1 < len(occ); i++ {
+				a, b := occ[i], occ[i+1]
+				if delta := swapDelta(p, a, b); delta < -1e-9 {
+					doSwap(p, a, b)
+					occ[i], occ[i+1] = occ[i+1], occ[i]
+					accepted++
+					improvedThisPass++
+				}
+			}
+		}
+		if improvedThisPass == 0 {
+			break
+		}
+	}
+	return accepted
+}
+
+// netsOf returns the distinct nets touching the instances.
+func netsOf(insts ...*netlist.Instance) []*netlist.Net {
+	seen := make(map[*netlist.Net]bool)
+	var out []*netlist.Net
+	for _, inst := range insts {
+		for _, n := range inst.Conns() {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// swapDelta returns the change in HPWL caused by swapping adjacent cells a
+// and b (negative is an improvement).
+func swapDelta(p *Placement, a, b *netlist.Instance) float64 {
+	nets := netsOf(a, b)
+	before := 0.0
+	for _, n := range nets {
+		before += p.HPWL(n)
+	}
+	la, _ := p.Loc(a)
+	lb, _ := p.Loc(b)
+	doSwap(p, a, b)
+	after := 0.0
+	for _, n := range nets {
+		after += p.HPWL(n)
+	}
+	// Restore.
+	p.SetLoc(a, la)
+	p.SetLoc(b, lb)
+	return after - before
+}
+
+// doSwap exchanges the positions of two adjacent cells in a row, keeping the
+// pair's left edge and packing order.
+func doSwap(p *Placement, a, b *netlist.Instance) {
+	la, _ := p.Loc(a)
+	lb, _ := p.Loc(b)
+	left := la
+	if lb.X < la.X {
+		left = lb
+	}
+	// b goes first, then a.
+	p.SetLoc(b, Loc{X: left.X, Y: left.Y, Row: left.Row})
+	p.SetLoc(a, Loc{X: left.X + b.Master.Width, Y: left.Y, Row: left.Row})
+}
+
+func snapDown(v, step float64) float64 {
+	if step <= 0 {
+		return v
+	}
+	n := int(v / step)
+	return float64(n) * step
+}

@@ -1,0 +1,177 @@
+// Package power estimates per-cell power consumption from annotated
+// switching activities and builds the power-density maps consumed by the
+// thermal simulator. It plays the role of Synopsys Power Compiler in the
+// paper's flow.
+//
+// The model is the standard cell-based one:
+//
+//	P_cell = P_internal + P_load + P_leak
+//	P_internal = E_switch * alpha_out * f
+//	P_load     = 1/2 * C_load * Vdd^2 * alpha_out * f
+//	P_clockpin = 1/2 * C_ck * Vdd^2 * 2 * f            (sequential cells)
+//	P_leak     = constant per master
+//
+// where alpha_out is the output-net toggle rate (transitions per cycle),
+// C_load is the sum of fanout pin capacitances plus estimated wire
+// capacitance from the placed net's half-perimeter wirelength, and f is the
+// clock frequency. Filler (dummy) cells consume exactly zero power.
+package power
+
+import (
+	"sort"
+
+	"thermplace/internal/geom"
+	"thermplace/internal/logicsim"
+	"thermplace/internal/netlist"
+	"thermplace/internal/place"
+)
+
+// Unit conversion constants.
+const (
+	femto = 1e-15
+	nano  = 1e-9
+)
+
+// Breakdown is the power of one instance split by mechanism, in watts.
+type Breakdown struct {
+	Internal float64
+	Load     float64
+	Clock    float64
+	Leakage  float64
+}
+
+// Total returns the summed power of the breakdown in watts.
+func (b Breakdown) Total() float64 { return b.Internal + b.Load + b.Clock + b.Leakage }
+
+// Report holds the power estimate of a whole design.
+type Report struct {
+	// PerInstance maps each non-filler instance to its power breakdown.
+	PerInstance map[*netlist.Instance]Breakdown
+	// ClockHz is the clock frequency the estimate was computed for.
+	ClockHz float64
+}
+
+// Total returns the total design power in watts.
+func (r *Report) Total() float64 {
+	t := 0.0
+	for _, b := range r.PerInstance {
+		t += b.Total()
+	}
+	return t
+}
+
+// TotalBreakdown returns the design-level power split by mechanism.
+func (r *Report) TotalBreakdown() Breakdown {
+	var out Breakdown
+	for _, b := range r.PerInstance {
+		out.Internal += b.Internal
+		out.Load += b.Load
+		out.Clock += b.Clock
+		out.Leakage += b.Leakage
+	}
+	return out
+}
+
+// InstancePower returns the total power of one instance in watts.
+func (r *Report) InstancePower(inst *netlist.Instance) float64 {
+	return r.PerInstance[inst].Total()
+}
+
+// PerUnit returns total power per logical unit, plus the power of untagged
+// cells under the empty-string key when any exist.
+func (r *Report) PerUnit() map[string]float64 {
+	out := make(map[string]float64)
+	for inst, b := range r.PerInstance {
+		out[inst.Unit] += b.Total()
+	}
+	return out
+}
+
+// TopConsumers returns the n highest-power instances in descending order.
+func (r *Report) TopConsumers(n int) []*netlist.Instance {
+	insts := make([]*netlist.Instance, 0, len(r.PerInstance))
+	for inst := range r.PerInstance {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool {
+		pi, pj := r.InstancePower(insts[i]), r.InstancePower(insts[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return insts[i].Name < insts[j].Name
+	})
+	if n > len(insts) {
+		n = len(insts)
+	}
+	return insts[:n]
+}
+
+// Estimate computes the power report for a placed design.
+//
+// The placement is used for the wire-capacitance component of the switching
+// load; pass a nil placement to get a wire-load-free estimate (useful before
+// placement exists).
+func Estimate(d *netlist.Design, p *place.Placement, act *logicsim.Activity, clockHz float64) *Report {
+	lib := d.Lib
+	rep := &Report{PerInstance: make(map[*netlist.Instance]Breakdown, d.NumInstances()), ClockHz: clockHz}
+	vdd2 := lib.Vdd * lib.Vdd
+
+	for _, inst := range d.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		m := inst.Master
+		var b Breakdown
+		b.Leakage = m.Leakage * nano
+
+		outPin := m.OutputPin()
+		if outPin != "" {
+			if outNet := inst.Conn(outPin); outNet != nil {
+				alpha := act.For(outNet.Name)
+				// Fanout pin capacitance.
+				loadCap := 0.0
+				for _, l := range outNet.Loads {
+					if l.Inst != nil {
+						loadCap += l.Inst.Master.PinCap(l.Pin)
+					}
+				}
+				// Wire capacitance from placed HPWL.
+				if p != nil {
+					loadCap += p.HPWL(outNet) * lib.WireCapPerUm
+				}
+				b.Internal = m.SwitchEnergy * femto * alpha * clockHz
+				b.Load = 0.5 * loadCap * femto * vdd2 * alpha * clockHz
+			}
+		}
+		if m.Sequential {
+			// The clock pin toggles twice per cycle regardless of data
+			// activity.
+			ckCap := m.PinCap("CK")
+			b.Clock = 0.5 * ckCap * femto * vdd2 * 2 * clockHz
+		}
+		rep.PerInstance[inst] = b
+	}
+	return rep
+}
+
+// Map bins the per-instance power onto an nx-by-ny grid over the placement's
+// core area, spreading each cell's power over the grid cells its footprint
+// overlaps. The result is in watts per grid cell and is the "power profile"
+// of the paper's Figure 5 (left).
+func Map(rep *Report, p *place.Placement, nx, ny int) *geom.Grid {
+	g := geom.NewGrid(nx, ny, p.FP.Core)
+	for inst, b := range rep.PerInstance {
+		r, ok := p.CellRect(inst)
+		if !ok {
+			continue
+		}
+		g.SpreadRect(r, b.Total())
+	}
+	return g
+}
+
+// DensityMap returns the power density in W/um^2 on the same grid as Map.
+func DensityMap(rep *Report, p *place.Placement, nx, ny int) *geom.Grid {
+	g := Map(rep, p, nx, ny)
+	return g.Scale(1 / g.CellArea())
+}

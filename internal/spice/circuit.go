@@ -1,0 +1,150 @@
+// Package spice implements a small resistive-network circuit solver: the
+// role SPICE plays in the paper's thermal flow. The thermal model of the
+// paper (after the steady-state simplification that removes all capacitors)
+// is a netlist of resistors, current sources and voltage sources; package
+// thermal builds such a netlist and this package solves it for the node
+// voltages, which are the node temperatures of the thermal network.
+//
+// Supported elements:
+//   - resistors between any two nodes,
+//   - independent current sources injecting current into a node,
+//   - independent voltage sources from a node to ground (node "0"), which is
+//     all the thermal model needs for ambient-temperature boundaries.
+//
+// Node voltages are found by assembling the nodal-analysis system G*v = i
+// over the unknown nodes (voltage-source nodes and ground have known
+// voltages and are folded into the right-hand side) and solving it with one
+// of three methods: preconditioned conjugate gradients (the default, ideal
+// for the large sparse symmetric systems the thermal grid produces),
+// Gauss-Seidel relaxation, or dense Cholesky for small systems and
+// cross-checking.
+package spice
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ground is the reference node name; its voltage is always zero.
+const Ground = "0"
+
+// Resistor is a two-terminal resistance in ohms.
+type Resistor struct {
+	Name string
+	A, B string
+	Ohms float64
+}
+
+// CurrentSource injects Amps into node To and removes it from node From
+// (conventional current flow From -> To through the source).
+type CurrentSource struct {
+	Name     string
+	From, To string
+	Amps     float64
+}
+
+// VoltageSource fixes the voltage of Node (relative to ground) to Volts.
+type VoltageSource struct {
+	Name  string
+	Node  string
+	Volts float64
+}
+
+// Circuit is a resistive network under construction.
+type Circuit struct {
+	resistors []Resistor
+	isources  []CurrentSource
+	vsources  []VoltageSource
+	nodes     map[string]bool
+	names     map[string]bool
+}
+
+// NewCircuit returns an empty circuit containing only the ground node.
+func NewCircuit() *Circuit {
+	return &Circuit{
+		nodes: map[string]bool{Ground: true},
+		names: make(map[string]bool),
+	}
+}
+
+func (c *Circuit) registerName(name string) error {
+	if name == "" {
+		return fmt.Errorf("spice: element with empty name")
+	}
+	if c.names[name] {
+		return fmt.Errorf("spice: duplicate element name %q", name)
+	}
+	c.names[name] = true
+	return nil
+}
+
+// AddResistor adds a resistor between nodes a and b.
+func (c *Circuit) AddResistor(name, a, b string, ohms float64) error {
+	if err := c.registerName(name); err != nil {
+		return err
+	}
+	if ohms <= 0 {
+		return fmt.Errorf("spice: resistor %q must have positive resistance, got %g", name, ohms)
+	}
+	if a == b {
+		return fmt.Errorf("spice: resistor %q connects node %q to itself", name, a)
+	}
+	c.nodes[a], c.nodes[b] = true, true
+	c.resistors = append(c.resistors, Resistor{Name: name, A: a, B: b, Ohms: ohms})
+	return nil
+}
+
+// AddCurrentSource adds a current source driving amps from node from into
+// node to.
+func (c *Circuit) AddCurrentSource(name, from, to string, amps float64) error {
+	if err := c.registerName(name); err != nil {
+		return err
+	}
+	c.nodes[from], c.nodes[to] = true, true
+	c.isources = append(c.isources, CurrentSource{Name: name, From: from, To: to, Amps: amps})
+	return nil
+}
+
+// AddVoltageSource fixes the voltage of node (to ground) at volts.
+func (c *Circuit) AddVoltageSource(name, node string, volts float64) error {
+	if err := c.registerName(name); err != nil {
+		return err
+	}
+	if node == Ground {
+		return fmt.Errorf("spice: voltage source %q cannot drive the ground node", name)
+	}
+	c.nodes[node] = true
+	c.vsources = append(c.vsources, VoltageSource{Name: name, Node: node, Volts: volts})
+	return nil
+}
+
+// NumNodes returns the number of nodes including ground.
+func (c *Circuit) NumNodes() int { return len(c.nodes) }
+
+// NumElements returns the number of circuit elements.
+func (c *Circuit) NumElements() int {
+	return len(c.resistors) + len(c.isources) + len(c.vsources)
+}
+
+// Nodes returns all node names in sorted order.
+func (c *Circuit) Nodes() []string {
+	out := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resistors returns a copy of the resistor list.
+func (c *Circuit) Resistors() []Resistor { return append([]Resistor(nil), c.resistors...) }
+
+// CurrentSources returns a copy of the current-source list.
+func (c *Circuit) CurrentSources() []CurrentSource {
+	return append([]CurrentSource(nil), c.isources...)
+}
+
+// VoltageSources returns a copy of the voltage-source list.
+func (c *Circuit) VoltageSources() []VoltageSource {
+	return append([]VoltageSource(nil), c.vsources...)
+}

@@ -1,0 +1,356 @@
+// Package timing is a small static timing analyzer for placed gate-level
+// designs. It supports the paper's two timing-related claims:
+//
+//   - the post-placement transforms cause only a small ("around 2%") increase
+//     of the critical-path delay, because cell movements are local;
+//   - temperature affects delay (the paper's motivation): MOS drive strength
+//     drops about 4% per 10 degrees C and interconnect delay grows about 5%
+//     per 10 degrees C, so the analyzer can derate each cell and wire with
+//     the local temperature from a thermal map.
+//
+// The delay model is the usual linear one: cell delay = intrinsic +
+// drive-resistance * load, wire delay from a lumped Elmore term computed on
+// the placed net's half-perimeter wirelength.
+package timing
+
+import (
+	"fmt"
+	"sort"
+
+	"thermplace/internal/geom"
+	"thermplace/internal/netlist"
+	"thermplace/internal/place"
+)
+
+// Options configures a timing analysis.
+type Options struct {
+	// TemperatureMap, when non-nil, derates every cell and wire with the
+	// temperature of its location (degrees C). The map must cover the core.
+	TemperatureMap *geom.Grid
+	// NominalC is the temperature at which the library delays are
+	// characterized. Zero means 25.
+	NominalC float64
+	// CellDeratePer10C is the fractional cell-delay increase per 10 C above
+	// nominal. Zero means 0.04 (the paper's 4% drive-current loss).
+	CellDeratePer10C float64
+	// WireDeratePer10C is the fractional wire-delay increase per 10 C above
+	// nominal. Zero means 0.05 (the paper's 5%).
+	WireDeratePer10C float64
+	// ClockPeriodPs, when positive, is used to report slack.
+	ClockPeriodPs float64
+}
+
+// DefaultOptions returns options without temperature derating at a 1 GHz
+// clock (1000 ps period).
+func DefaultOptions() Options { return Options{ClockPeriodPs: 1000} }
+
+func (o Options) withDefaults() Options {
+	if o.NominalC == 0 {
+		o.NominalC = 25
+	}
+	if o.CellDeratePer10C == 0 {
+		o.CellDeratePer10C = 0.04
+	}
+	if o.WireDeratePer10C == 0 {
+		o.WireDeratePer10C = 0.05
+	}
+	return o
+}
+
+// PathStep is one hop of a timing path.
+type PathStep struct {
+	// Inst is the driving cell of this step (nil for a primary input).
+	Inst *netlist.Instance
+	// Net is the net the step drives.
+	Net *netlist.Net
+	// DelayPs is the step's contribution (cell + wire) in picoseconds.
+	DelayPs float64
+	// ArrivalPs is the cumulative arrival time at the net in picoseconds.
+	ArrivalPs float64
+}
+
+// Report is the result of a timing analysis.
+type Report struct {
+	// CriticalPathPs is the worst arrival time at any endpoint (flip-flop
+	// D input or primary output) in picoseconds.
+	CriticalPathPs float64
+	// CriticalPath lists the steps of the worst path, start to end.
+	CriticalPath []PathStep
+	// SlackPs is ClockPeriodPs - CriticalPathPs when a period was given.
+	SlackPs float64
+	// MaxFrequencyGHz is 1000 / CriticalPathPs.
+	MaxFrequencyGHz float64
+	// ArrivalPs maps every net name to its worst arrival time.
+	ArrivalPs map[string]float64
+	// Endpoints is the number of timing endpoints analyzed.
+	Endpoints int
+}
+
+// Overhead returns the fractional critical-path increase of after relative
+// to before; negative values mean the path got faster.
+func Overhead(before, after *Report) float64 {
+	if before == nil || after == nil || before.CriticalPathPs <= 0 {
+		return 0
+	}
+	return (after.CriticalPathPs - before.CriticalPathPs) / before.CriticalPathPs
+}
+
+// node is the per-gate record used during levelized arrival propagation.
+type node struct {
+	inst   *netlist.Instance
+	inNets []*netlist.Net
+	outNet *netlist.Net
+}
+
+// Analyze runs a full-chip static timing analysis on the placed design.
+// The placement may be nil, in which case wire delay and wire load are
+// ignored (useful to isolate the pure gate-delay component).
+func Analyze(d *netlist.Design, p *place.Placement, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+
+	// Collect combinational nodes and sequential elements.
+	var nodes []node
+	var seqs []*netlist.Instance
+	for _, inst := range d.Instances() {
+		m := inst.Master
+		switch {
+		case m.Filler:
+			continue
+		case m.Sequential:
+			seqs = append(seqs, inst)
+		default:
+			out := inst.Conn(m.OutputPin())
+			if out == nil {
+				return nil, fmt.Errorf("timing: gate %q output unconnected", inst.Name)
+			}
+			n := node{inst: inst, outNet: out}
+			for _, pin := range m.Inputs() {
+				net := inst.Conn(pin)
+				if net == nil {
+					return nil, fmt.Errorf("timing: pin %s.%s unconnected", inst.Name, pin)
+				}
+				n.inNets = append(n.inNets, net)
+			}
+			nodes = append(nodes, n)
+		}
+	}
+
+	order, err := levelize(nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	arrival := make(map[*netlist.Net]float64, d.NumNets())
+	prev := make(map[*netlist.Net]PathStep, d.NumNets())
+
+	// Launch points: primary inputs at t=0 and flip-flop outputs at their
+	// clock-to-output delay.
+	for _, port := range d.Ports() {
+		if port.Dir == netlist.In {
+			arrival[port.Net] = 0
+		}
+	}
+	for _, ff := range seqs {
+		out := ff.Conn(ff.Master.OutputPin())
+		if out == nil {
+			continue
+		}
+		t := cellDelay(d, p, ff, out, opts) + wireDelay(d, p, out, opts)
+		if t > arrival[out] {
+			arrival[out] = t
+			prev[out] = PathStep{Inst: ff, Net: out, DelayPs: t, ArrivalPs: t}
+		}
+	}
+
+	// Propagate arrivals in topological order.
+	for _, n := range order {
+		worst := 0.0
+		for _, in := range n.inNets {
+			if a := arrival[in]; a >= worst {
+				worst = a
+			}
+		}
+		delay := cellDelay(d, p, n.inst, n.outNet, opts) + wireDelay(d, p, n.outNet, opts)
+		t := worst + delay
+		if t > arrival[n.outNet] {
+			arrival[n.outNet] = t
+			prev[n.outNet] = PathStep{Inst: n.inst, Net: n.outNet, DelayPs: delay, ArrivalPs: t}
+		}
+	}
+
+	// Endpoints: flip-flop D nets and primary-output nets.
+	rep := &Report{ArrivalPs: make(map[string]float64, len(arrival))}
+	for net, t := range arrival {
+		rep.ArrivalPs[net.Name] = t
+	}
+	var worstNet *netlist.Net
+	consider := func(net *netlist.Net) {
+		if net == nil {
+			return
+		}
+		rep.Endpoints++
+		if t := arrival[net]; t >= rep.CriticalPathPs {
+			rep.CriticalPathPs = t
+			worstNet = net
+		}
+	}
+	for _, ff := range seqs {
+		consider(ff.Conn("D"))
+	}
+	for _, port := range d.Ports() {
+		if port.Dir == netlist.Out {
+			consider(port.Net)
+		}
+	}
+	if rep.Endpoints == 0 {
+		// Purely combinational fan-out-free design: fall back to the worst
+		// arrival anywhere.
+		for net, t := range arrival {
+			rep.Endpoints++
+			if t >= rep.CriticalPathPs {
+				rep.CriticalPathPs = t
+				worstNet = net
+			}
+		}
+	}
+
+	// Reconstruct the critical path by walking prev links backwards through
+	// the worst input of each step's driver.
+	rep.CriticalPath = tracePath(d, prev, arrival, worstNet)
+	if rep.CriticalPathPs > 0 {
+		rep.MaxFrequencyGHz = 1000 / rep.CriticalPathPs
+	}
+	if opts.ClockPeriodPs > 0 {
+		rep.SlackPs = opts.ClockPeriodPs - rep.CriticalPathPs
+	}
+	return rep, nil
+}
+
+// levelize orders the combinational nodes topologically.
+func levelize(nodes []node) ([]node, error) {
+	driver := make(map[*netlist.Net]int, len(nodes))
+	for i, n := range nodes {
+		driver[n.outNet] = i
+	}
+	indeg := make([]int, len(nodes))
+	deps := make([][]int, len(nodes))
+	for i, n := range nodes {
+		for _, in := range n.inNets {
+			if di, ok := driver[in]; ok {
+				indeg[i]++
+				deps[di] = append(deps[di], i)
+			}
+		}
+	}
+	queue := make([]int, 0, len(nodes))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	out := make([]node, 0, len(nodes))
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		out = append(out, nodes[i])
+		for _, j := range deps[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(out) != len(nodes) {
+		return nil, fmt.Errorf("timing: combinational loop detected (%d gates unorderable)", len(nodes)-len(out))
+	}
+	return out, nil
+}
+
+// tracePath rebuilds the critical path from the prev-step links.
+func tracePath(d *netlist.Design, prev map[*netlist.Net]PathStep, arrival map[*netlist.Net]float64, end *netlist.Net) []PathStep {
+	var rev []PathStep
+	seen := make(map[*netlist.Net]bool)
+	for net := end; net != nil && !seen[net]; {
+		seen[net] = true
+		step, ok := prev[net]
+		if !ok {
+			break
+		}
+		rev = append(rev, step)
+		// Move to the worst input of the driver.
+		if step.Inst == nil || step.Inst.Master.Sequential {
+			break
+		}
+		var worst *netlist.Net
+		worstT := -1.0
+		for _, pin := range step.Inst.Master.Inputs() {
+			in := step.Inst.Conn(pin)
+			if in == nil {
+				continue
+			}
+			if t := arrival[in]; t > worstT {
+				worstT = t
+				worst = in
+			}
+		}
+		net = worst
+	}
+	// Reverse into launch-to-capture order.
+	sort.SliceStable(rev, func(i, j int) bool { return rev[i].ArrivalPs < rev[j].ArrivalPs })
+	return rev
+}
+
+// derate returns the multiplicative delay derating factor for a point.
+func derate(opts Options, per10C float64, at geom.Point) float64 {
+	if opts.TemperatureMap == nil {
+		return 1
+	}
+	ix, iy := opts.TemperatureMap.CellOf(at)
+	t := opts.TemperatureMap.At(ix, iy)
+	d := 1 + per10C*(t-opts.NominalC)/10
+	if d < 0.5 {
+		d = 0.5
+	}
+	return d
+}
+
+// cellDelay returns the delay of a gate driving its output net in ps.
+func cellDelay(d *netlist.Design, p *place.Placement, inst *netlist.Instance, out *netlist.Net, opts Options) float64 {
+	lib := d.Lib
+	load := 0.0 // fF
+	for _, l := range out.Loads {
+		if l.Inst != nil {
+			load += l.Inst.Master.PinCap(l.Pin)
+		}
+	}
+	if p != nil {
+		load += p.HPWL(out) * lib.WireCapPerUm
+	}
+	// kOhm * fF = ps.
+	delay := inst.Master.Intrinsic + inst.Master.DriveRes*load
+	if p != nil {
+		delay *= derate(opts, opts.CellDeratePer10C, p.Center(inst))
+	}
+	return delay
+}
+
+// wireDelay returns the lumped Elmore wire delay of the net in ps.
+func wireDelay(d *netlist.Design, p *place.Placement, net *netlist.Net, opts Options) float64 {
+	if p == nil {
+		return 0
+	}
+	lib := d.Lib
+	length := p.HPWL(net)
+	rw := length * lib.WireResPerUm // ohm
+	cw := length * lib.WireCapPerUm // fF
+	pinCap := 0.0
+	for _, l := range net.Loads {
+		if l.Inst != nil {
+			pinCap += l.Inst.Master.PinCap(l.Pin)
+		}
+	}
+	// ohm * fF = 1e-3 ps.
+	delay := (0.5*rw*cw + rw*pinCap) * 1e-3
+	bbox := p.NetBBox(net)
+	return delay * derate(opts, opts.WireDeratePer10C, bbox.Center())
+}
