@@ -1,7 +1,7 @@
 // Benchmarks that regenerate the paper's evaluation (one benchmark per table
 // and figure) plus ablation benches for the design choices called out in
-// DESIGN.md. Key result quantities are attached to every benchmark run via
-// b.ReportMetric, so
+// README.md's design notes. Key result quantities are attached to every
+// benchmark run via b.ReportMetric, so
 //
 //	go test -bench=. -benchmem
 //
@@ -10,6 +10,7 @@
 package thermplace_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -178,7 +179,7 @@ func BenchmarkCongestionByproduct(b *testing.B) {
 	b.ReportMetric(after.RegionUtilization(region), "hotspot_congestion_after")
 }
 
-// --- Ablation benches (design choices called out in DESIGN.md) -------------
+// --- Ablation benches (design choices called out in README.md) -------------
 
 // BenchmarkAblation_Solvers compares the three linear solvers on the same
 // mid-sized thermal network (correctness is asserted in the spice and
@@ -407,6 +408,60 @@ func BenchmarkThermalSolve40x40x9(b *testing.B) {
 		if _, err := thermal.Solve(pm, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkThermalSolveGrid sweeps the thermal grid size and compares the
+// legacy SPICE-circuit path against the structured-grid fast path, both
+// cold (fresh solver per solve, the "first sweep point" cost) and reused
+// (warm-started re-solve, the steady-state sweep cost). Each sub-benchmark
+// reports ns/solve and allocs/solve via b.ReportMetric so future PRs have a
+// perf trajectory to track. Run with -benchtime 1x for a quick look: the
+// spice path at 160x160x9 (230k nodes) takes seconds per solve.
+func BenchmarkThermalSolveGrid(b *testing.B) {
+	for _, n := range []int{40, 80, 160} {
+		cfg := thermal.DefaultConfig()
+		cfg.NX, cfg.NY = n, n
+		// Keep the cell size at the paper's ~9 um by scaling the die with
+		// the grid, and keep total power fixed.
+		region := geom.Rect{Xlo: 0, Ylo: 0, Xhi: 9 * float64(n), Yhi: 9 * float64(n)}
+		pm := geom.NewGrid(n, n, region)
+		pm.Fill(0.015 / float64(n*n))
+		for iy := n / 5; iy < n/5+n/8; iy++ {
+			for ix := n / 5; ix < n/5+n/8; ix++ {
+				pm.Add(ix, iy, 0.010/float64(n/8*n/8))
+			}
+		}
+		solveOnce := func(b *testing.B, solve func() error) {
+			b.Helper()
+			b.ReportAllocs() // the allocs/op column is allocs/solve: one solve per op
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/solve")
+		}
+		b.Run(fmt.Sprintf("grid=%dx%dx9/spice", n, n), func(b *testing.B) {
+			scfg := cfg
+			scfg.UseSpice = true
+			solveOnce(b, func() error { _, err := thermal.Solve(pm, scfg); return err })
+		})
+		b.Run(fmt.Sprintf("grid=%dx%dx9/fast", n, n), func(b *testing.B) {
+			solveOnce(b, func() error { _, err := thermal.Solve(pm, cfg); return err })
+		})
+		b.Run(fmt.Sprintf("grid=%dx%dx9/fast-reuse", n, n), func(b *testing.B) {
+			s, err := thermal.NewSolver(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Solve(pm); err != nil { // prime structure + warm start
+				b.Fatal(err)
+			}
+			solveOnce(b, func() error { _, err := s.Solve(pm); return err })
+		})
 	}
 }
 

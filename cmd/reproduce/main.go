@@ -9,7 +9,7 @@
 //	congestion  routing-congestion by-product of empty row insertion
 //	all     everything above
 //
-// Absolute temperatures depend on the package calibration (see DESIGN.md);
+// Absolute temperatures depend on the package calibration (see the design notes in README.md);
 // the reproduced quantities are the relative reductions the paper reports.
 //
 // Usage:

@@ -13,5 +13,6 @@
 // cmd/ (benchgen, thermflow, thermopt, reproduce) and the runnable examples
 // under examples/ are the intended entry points. bench_test.go at this level
 // regenerates every table and figure of the paper's evaluation as Go
-// benchmarks. See README.md, DESIGN.md and EXPERIMENTS.md.
+// benchmarks. See README.md for the quickstart, package map, solver
+// architecture and design notes.
 package thermplace

@@ -1,0 +1,3 @@
+module thermplace
+
+go 1.24

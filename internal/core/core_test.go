@@ -315,6 +315,49 @@ func TestSweepEfficiencyReproducesFigure6Shape(t *testing.T) {
 	}
 }
 
+// TestSweepFastPathMatchesSpiceOracle runs the same sweep through the
+// structured-grid fast path (with its solver reuse and warm starts across
+// points) and through the legacy SPICE oracle, and requires identical
+// efficiency curves. This is the end-to-end guarantee that the fast path
+// changes nothing about the paper's reproduced results.
+func TestSweepFastPathMatchesSpiceOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double sweep skipped in -short mode")
+	}
+	run := func(useSpice bool) *SweepResult {
+		f := hotFlow(t, "mult8")
+		f.Config.Thermal.UseSpice = useSpice
+		res, err := SweepEfficiency(f, SweepOptions{Overheads: []float64{0.15}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(false)
+	oracle := run(true)
+	if math.Abs(fast.Baseline.PeakRise()-oracle.Baseline.PeakRise()) > 1e-6 {
+		t.Fatalf("baseline peak rise: fast %g vs oracle %g",
+			fast.Baseline.PeakRise(), oracle.Baseline.PeakRise())
+	}
+	if len(fast.Points) != len(oracle.Points) {
+		t.Fatalf("point count: fast %d vs oracle %d", len(fast.Points), len(oracle.Points))
+	}
+	for i, fp := range fast.Points {
+		op := oracle.Points[i]
+		if fp.Strategy != op.Strategy {
+			t.Fatalf("point %d strategy mismatch: %s vs %s", i, fp.Strategy, op.Strategy)
+		}
+		if math.Abs(fp.PeakRise-op.PeakRise) > 1e-6 {
+			t.Fatalf("point %d (%s): peak rise fast %g vs oracle %g",
+				i, fp.Strategy, fp.PeakRise, op.PeakRise)
+		}
+		if math.Abs(fp.TempReduction-op.TempReduction) > 1e-6 {
+			t.Fatalf("point %d (%s): reduction fast %g vs oracle %g",
+				i, fp.Strategy, fp.TempReduction, op.TempReduction)
+		}
+	}
+}
+
 func TestConcentratedExperimentShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("concentrated experiment skipped in -short mode")

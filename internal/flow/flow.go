@@ -70,13 +70,23 @@ func FastConfig() Config {
 }
 
 // Flow binds a design and a workload to an analysis configuration and caches
-// the workload-dependent (but placement-independent) switching activity.
+// everything that is reusable across analyses: the workload-dependent (but
+// placement-independent) switching activity, the deterministic baseline
+// placement, and the structured-grid thermal solver. The solver cache is
+// what makes a sweep cheap: every ERI/HW/Default point reuses the assembled
+// thermal system and warm-starts the iteration from the previous point's
+// temperature field. A Flow is not safe for concurrent use.
 type Flow struct {
 	Design   *netlist.Design
 	Workload bench.Workload
 	Config   Config
 
-	activity *logicsim.Activity
+	activity    *logicsim.Activity
+	baseline    *place.Placement
+	baselineKey placementKey
+
+	solver    *thermal.Solver
+	solverCfg thermal.Config
 }
 
 // New creates a flow for the design under the given workload.
@@ -125,8 +135,59 @@ func (f *Flow) PlaceAt(utilization float64) (*place.Placement, error) {
 	return p, nil
 }
 
-// Baseline places the design at the configured baseline utilization.
-func (f *Flow) Baseline() (*place.Placement, error) { return f.PlaceAt(f.Config.Utilization) }
+// Baseline places the design at the configured baseline utilization,
+// building the placement on first use and caching it: placement is
+// deterministic for a fixed design and utilization, and every sweep and
+// experiment measures against this same compact placement. The cached
+// placement is shared; callers must treat it as read-only (the core
+// transforms clone before modifying).
+func (f *Flow) Baseline() (*place.Placement, error) {
+	key := f.placementKey()
+	if f.baseline != nil && f.baselineKey == key {
+		return f.baseline, nil
+	}
+	p, err := f.PlaceAt(f.Config.Utilization)
+	if err != nil {
+		return nil, err
+	}
+	f.baseline = p
+	f.baselineKey = key
+	return p, nil
+}
+
+// placementKey captures every Config knob that shapes a baseline placement,
+// so the cache is invalidated when any of them changes.
+type placementKey struct {
+	util, aspect float64
+	refine       int
+}
+
+func (f *Flow) placementKey() placementKey {
+	return placementKey{util: f.Config.Utilization, aspect: f.Config.AspectRatio, refine: f.Config.RefinePasses}
+}
+
+// thermalSolve routes the analysis through the cached structured-grid
+// solver when the configuration allows it, falling back to thermal.Solve
+// for oracle/non-CG configurations. The cached solver is invalidated when
+// the thermal configuration changes.
+func (f *Flow) thermalSolve(pm *geom.Grid, tcfg thermal.Config) (*thermal.Result, error) {
+	if !tcfg.FastPath() {
+		return thermal.Solve(pm, tcfg)
+	}
+	if f.solver == nil || !f.solverCfg.Equal(tcfg) {
+		s, err := thermal.NewSolver(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		f.solver = s
+		f.solverCfg = tcfg
+		// Snapshot the stack: tcfg.Stack aliases the caller's slice, and
+		// Equal must detect in-place layer mutations against the state the
+		// solver was actually built from.
+		f.solverCfg.Stack = append(thermal.Stack(nil), tcfg.Stack...)
+	}
+	return f.solver.Solve(pm)
+}
 
 // Analysis is the full measurement of one placement.
 type Analysis struct {
@@ -154,7 +215,7 @@ func (f *Flow) Analyze(p *place.Placement) (*Analysis, error) {
 	rep := power.Estimate(f.Design, p, act, f.Config.ClockHz)
 	tcfg := f.Config.Thermal
 	pm := power.Map(rep, p, tcfg.NX, tcfg.NY)
-	tres, err := thermal.Solve(pm, tcfg)
+	tres, err := f.thermalSolve(pm, tcfg)
 	if err != nil {
 		return nil, fmt.Errorf("flow: thermal simulation: %w", err)
 	}

@@ -59,6 +59,101 @@ func TestActivityCachedAndWorkloadDriven(t *testing.T) {
 	}
 }
 
+func TestBaselineCachedAndAnalysesConsistent(t *testing.T) {
+	f := smallFlow(t)
+	p1, err := f.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := f.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("baseline placement must be cached between calls")
+	}
+	// Repeated analyses must agree: the cached thermal solver's warm start
+	// must not drift the answer.
+	a1, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(a1.PeakRise() - a2.PeakRise()); d > 1e-9 {
+		t.Fatalf("repeated analysis changed peak rise by %g C", d)
+	}
+}
+
+func TestAnalyzeFastPathMatchesSpiceOracle(t *testing.T) {
+	f := smallFlow(t)
+	p, err := f.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := f.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(f.Design, f.Workload, f.Config)
+	g.Config.Thermal.UseSpice = true
+	oracle, err := g.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(fast.PeakRise() - oracle.PeakRise()); d > 1e-6 {
+		t.Fatalf("fast path peak rise differs from spice oracle by %g C", d)
+	}
+}
+
+func TestSolverCacheInvalidatedOnConfigChange(t *testing.T) {
+	f := smallFlow(t)
+	a1, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarsen the thermal grid mid-flight: the cached solver must be
+	// rebuilt, not fed a mismatched power map.
+	f.Config.Thermal.NX = 10
+	f.Config.Thermal.NY = 10
+	a2, err := f.Analyze(a1.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Thermal.Surface.NX != 10 {
+		t.Fatalf("analysis used stale grid %d", a2.Thermal.Surface.NX)
+	}
+	// In-place mutation of a stack layer must also invalidate the cache:
+	// the conductances change even though the slice header does not.
+	before := a2.PeakRise()
+	f.Config.Thermal.Stack[1].Conductivity /= 10
+	a3, err := f.Analyze(a1.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a3.PeakRise()-before) < 1e-9 {
+		t.Fatal("stack mutation did not change the thermal answer; stale solver reused")
+	}
+}
+
+func TestBaselineCacheInvalidatedOnUtilizationChange(t *testing.T) {
+	f := smallFlow(t)
+	p1, err := f.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Config.Utilization = 0.60
+	p2, err := f.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p1 || p2.FP.CoreArea() <= p1.FP.CoreArea() {
+		t.Fatal("utilization change must rebuild the baseline placement")
+	}
+}
+
 func TestPlaceAtAndBaseline(t *testing.T) {
 	f := smallFlow(t)
 	p, err := f.Baseline()

@@ -134,18 +134,43 @@ func (p *Placement) pinPoint(ref netlist.PinRef) (geom.Point, bool) {
 	return r.Center(), true
 }
 
-// NetBBox returns the bounding box of all placed pins of the net.
+// NetBBox returns the bounding box of all placed pins of the net. The box
+// is accumulated point by point (no intermediate slice): this runs once per
+// net per power estimate, which makes it one of the hottest loops of an
+// analysis.
 func (p *Placement) NetBBox(n *netlist.Net) geom.Rect {
-	var pts []geom.Point
+	var box geom.Rect
+	found := false
+	include := func(pt geom.Point) {
+		if !found {
+			// A one-point box is degenerate (Empty() is true), so track
+			// initialization explicitly rather than via emptiness.
+			box = geom.Rect{Xlo: pt.X, Ylo: pt.Y, Xhi: pt.X, Yhi: pt.Y}
+			found = true
+			return
+		}
+		if pt.X < box.Xlo {
+			box.Xlo = pt.X
+		}
+		if pt.Y < box.Ylo {
+			box.Ylo = pt.Y
+		}
+		if pt.X > box.Xhi {
+			box.Xhi = pt.X
+		}
+		if pt.Y > box.Yhi {
+			box.Yhi = pt.Y
+		}
+	}
 	if pt, ok := p.pinPoint(n.Driver); ok {
-		pts = append(pts, pt)
+		include(pt)
 	}
 	for _, l := range n.Loads {
 		if pt, ok := p.pinPoint(l); ok {
-			pts = append(pts, pt)
+			include(pt)
 		}
 	}
-	return geom.BoundingBox(pts)
+	return box
 }
 
 // HPWL returns the half-perimeter wirelength of the net in um.

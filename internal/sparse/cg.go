@@ -1,0 +1,237 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// CGOptions tunes the conjugate-gradient solver.
+type CGOptions struct {
+	// Tolerance is the relative residual ||b - A*x|| / ||b|| at which the
+	// iteration stops. Zero means the default of 1e-9.
+	Tolerance float64
+	// MaxIterations bounds the iteration count. Zero means 10*N.
+	MaxIterations int
+	// Workers is the number of goroutines used for matrix-vector products
+	// and reductions; an explicit value is honored as given. Zero picks
+	// GOMAXPROCS, capped so every worker owns at least minRowsPerWorker
+	// rows. 1 runs everything on the calling goroutine.
+	Workers int
+}
+
+// minRowsPerWorker keeps the per-iteration synchronization cost well below
+// the arithmetic cost of a worker's row range.
+const minRowsPerWorker = 4096
+
+// padStride spaces the per-worker partial sums one cache line apart.
+const padStride = 8
+
+// CG is a reusable Jacobi-preconditioned conjugate-gradient solver bound to
+// one matrix. The scratch vectors live as long as the solver, so repeated
+// Solve calls allocate nothing. A CG value is not safe for concurrent use.
+type CG struct {
+	m   *SymCSR
+	opt CGOptions
+
+	r, z, p, ap []float64
+	partial     []float64
+
+	// Per-solve state shared with the workers. The WaitGroup barrier in
+	// run() orders writes to alpha/beta/b/x before the workers read them.
+	b, x        []float64
+	alpha, beta float64
+
+	workers int
+	bounds  []int
+	// ops has one channel per worker so every worker executes every op
+	// exactly once over its own row range.
+	ops []chan int
+	wg  sync.WaitGroup
+}
+
+// Worker op codes.
+const (
+	opResidual = iota // r = b - A*x, partial r·r
+	opMatVec          // ap = A*p
+	opDotPAp          // partial p·ap
+	opUpdateXR        // x += alpha*p, r -= alpha*ap, partial r·r
+	opPrecond         // z = r / diag, partial r·z
+	opUpdateP         // p = z + beta*p
+)
+
+// NewCG builds a solver for m. The matrix may be modified between Solve
+// calls (for example when the grid geometry changes) as long as its pattern
+// dimensions stay the same.
+func NewCG(m *SymCSR, opt CGOptions) *CG {
+	if opt.Tolerance <= 0 {
+		opt.Tolerance = 1e-9
+	}
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 10 * m.N
+	}
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if byRows := m.N / minRowsPerWorker; w > byRows {
+			w = byRows
+		}
+	}
+	if w > m.N {
+		w = m.N
+	}
+	if w < 1 {
+		w = 1
+	}
+	c := &CG{
+		m:       m,
+		opt:     opt,
+		r:       make([]float64, m.N),
+		z:       make([]float64, m.N),
+		p:       make([]float64, m.N),
+		ap:      make([]float64, m.N),
+		workers: w,
+	}
+	if w > 1 {
+		c.partial = make([]float64, w*padStride)
+		c.bounds = make([]int, w+1)
+		for i := 0; i <= w; i++ {
+			c.bounds[i] = i * m.N / w
+		}
+	}
+	return c
+}
+
+// Workers returns the degree of parallelism the solver settled on.
+func (c *CG) Workers() int { return c.workers }
+
+// Solve solves A*x = b, using the incoming contents of x as the initial
+// guess (warm start). On success x holds the solution; it returns the
+// iteration count and the final relative residual.
+func (c *CG) Solve(b, x []float64) (iters int, residual float64, err error) {
+	n := c.m.N
+	if len(b) != n || len(x) != n {
+		return 0, 0, fmt.Errorf("sparse: vector length %d/%d does not match matrix size %d", len(b), len(x), n)
+	}
+	bnorm2 := 0.0
+	for _, v := range b {
+		bnorm2 += v * v
+	}
+	if bnorm2 == 0 {
+		// A is positive definite, so the unique solution is x = 0.
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, 0, nil
+	}
+	bnorm := math.Sqrt(bnorm2)
+
+	c.b, c.x = b, x
+	if c.workers > 1 {
+		c.ops = make([]chan int, c.workers)
+		for w := 0; w < c.workers; w++ {
+			c.ops[w] = make(chan int, 1)
+			go c.worker(w)
+		}
+		defer func() {
+			for _, ch := range c.ops {
+				close(ch)
+			}
+			c.ops = nil
+		}()
+	}
+	defer func() { c.b, c.x = nil, nil }()
+
+	rr := c.run(opResidual)
+	residual = math.Sqrt(rr) / bnorm
+	if residual <= c.opt.Tolerance {
+		return 0, residual, nil
+	}
+	rz := c.run(opPrecond)
+	copy(c.p, c.z)
+	for iters = 1; iters <= c.opt.MaxIterations; iters++ {
+		c.run(opMatVec)
+		pap := c.run(opDotPAp)
+		if pap <= 0 {
+			return iters, residual, fmt.Errorf("sparse: CG breakdown (non-positive curvature); matrix not positive definite")
+		}
+		c.alpha = rz / pap
+		rr = c.run(opUpdateXR)
+		residual = math.Sqrt(rr) / bnorm
+		if residual <= c.opt.Tolerance {
+			return iters, residual, nil
+		}
+		rzNew := c.run(opPrecond)
+		c.beta = rzNew / rz
+		rz = rzNew
+		c.run(opUpdateP)
+	}
+	return iters - 1, residual, fmt.Errorf("sparse: CG did not converge in %d iterations (residual %g)", c.opt.MaxIterations, residual)
+}
+
+// run executes one op over all rows, either inline or on the worker pool,
+// and returns the summed partial result (0 for ops without a reduction).
+func (c *CG) run(op int) float64 {
+	if c.workers == 1 {
+		return c.runRange(op, 0, c.m.N)
+	}
+	c.wg.Add(c.workers)
+	for w := 0; w < c.workers; w++ {
+		c.ops[w] <- op
+	}
+	c.wg.Wait()
+	sum := 0.0
+	for w := 0; w < c.workers; w++ {
+		sum += c.partial[w*padStride]
+	}
+	return sum
+}
+
+func (c *CG) worker(w int) {
+	lo, hi := c.bounds[w], c.bounds[w+1]
+	for op := range c.ops[w] {
+		c.partial[w*padStride] = c.runRange(op, lo, hi)
+		c.wg.Done()
+	}
+}
+
+// runRange executes one op over rows [lo, hi) and returns its partial sum.
+func (c *CG) runRange(op, lo, hi int) float64 {
+	switch op {
+	case opResidual:
+		return c.m.residualRange(c.b, c.x, c.r, lo, hi)
+	case opMatVec:
+		c.m.matVecRange(c.p, c.ap, lo, hi)
+	case opDotPAp:
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += c.p[i] * c.ap[i]
+		}
+		return s
+	case opUpdateXR:
+		alpha, s := c.alpha, 0.0
+		x, r, p, ap := c.x, c.r, c.p, c.ap
+		for i := lo; i < hi; i++ {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			s += r[i] * r[i]
+		}
+		return s
+	case opPrecond:
+		s := 0.0
+		r, z, diag := c.r, c.z, c.m.Diag
+		for i := lo; i < hi; i++ {
+			z[i] = r[i] / diag[i]
+			s += r[i] * z[i]
+		}
+		return s
+	case opUpdateP:
+		beta := c.beta
+		p, z := c.p, c.z
+		for i := lo; i < hi; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return 0
+}

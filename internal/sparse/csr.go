@@ -1,0 +1,72 @@
+// Package sparse provides the numerical kernel of the structured-grid
+// thermal fast path: a symmetric sparse matrix in compressed-sparse-row
+// form and a Jacobi-preconditioned conjugate-gradient solver whose
+// matrix-vector products and reductions run on a small goroutine pool.
+//
+// Unlike package spice, which assembles nodal equations from a netlist of
+// named elements, this package works on plain integer-indexed vectors: the
+// caller (package thermal) maps grid cells to contiguous indices once and
+// never touches strings or maps on the solve path. All numeric buffers are
+// reusable across solves: a serial re-solve with a new right-hand side
+// allocates nothing, and a parallel one allocates only the per-solve worker
+// handoff (a few channels), which is noise next to the iteration cost.
+package sparse
+
+// SymCSR is a symmetric positive-definite matrix stored as a diagonal
+// vector plus the off-diagonal entries of every row in CSR form. The full
+// off-diagonal pattern is stored (both (i,j) and (j,i)), which keeps the
+// matrix-vector product a pure row-parallel loop.
+type SymCSR struct {
+	// N is the number of rows (= columns).
+	N int
+	// RowPtr has length N+1; the off-diagonal entries of row i are
+	// Col[RowPtr[i]:RowPtr[i+1]] / Val[RowPtr[i]:RowPtr[i+1]].
+	RowPtr []int32
+	// Col holds the column index of every off-diagonal entry.
+	Col []int32
+	// Val holds the value of every off-diagonal entry.
+	Val []float64
+	// Diag holds the diagonal entries.
+	Diag []float64
+}
+
+// NewSymCSR allocates an n-by-n matrix with room for nnzOff off-diagonal
+// entries. RowPtr, Col and Val are allocated at full capacity but start
+// zeroed; the caller fills them in row order.
+func NewSymCSR(n, nnzOff int) *SymCSR {
+	return &SymCSR{
+		N:      n,
+		RowPtr: make([]int32, n+1),
+		Col:    make([]int32, nnzOff),
+		Val:    make([]float64, nnzOff),
+		Diag:   make([]float64, n),
+	}
+}
+
+// MatVec computes y = A*x.
+func (m *SymCSR) MatVec(x, y []float64) { m.matVecRange(x, y, 0, m.N) }
+
+// matVecRange computes y[lo:hi] = (A*x)[lo:hi].
+func (m *SymCSR) matVecRange(x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sum := m.Diag[i] * x[i]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Val[k] * x[m.Col[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// Residual computes r = b - A*x and returns r·r, fused in one pass.
+func (m *SymCSR) residualRange(b, x, r []float64, lo, hi int) float64 {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		sum := m.Diag[i] * x[i]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Val[k] * x[m.Col[k]]
+		}
+		r[i] = b[i] - sum
+		s += r[i] * r[i]
+	}
+	return s
+}

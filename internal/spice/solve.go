@@ -128,8 +128,11 @@ func (c *Circuit) assemble() (*assembled, error) {
 		}
 		known[vs.Node] = vs.Volts
 	}
-	sys := &assembled{idx: make(map[string]int), known: known}
-	for _, node := range c.Nodes() {
+	sys := &assembled{idx: make(map[string]int, len(c.nodes)), known: known}
+	nodes := c.Nodes()
+	nodeID := make(map[string]int, len(nodes))
+	for id, node := range nodes {
+		nodeID[node] = id
 		if _, isKnown := known[node]; !isKnown {
 			sys.idx[node] = len(sys.order)
 			sys.order = append(sys.order, node)
@@ -142,31 +145,65 @@ func (c *Circuit) assemble() (*assembled, error) {
 	sys.offVal = make([][]float64, n)
 
 	// Reachability check: every unknown must reach a known node through
-	// resistors.
-	adj := make(map[string][]string, len(c.nodes))
+	// resistors. The resistor graph is scanned over integer node ids in CSR
+	// form; node names are only touched once to build nodeID above.
+	total := len(nodes)
+	adjPtr := make([]int32, total+1)
 	for _, r := range c.resistors {
-		adj[r.A] = append(adj[r.A], r.B)
-		adj[r.B] = append(adj[r.B], r.A)
+		adjPtr[nodeID[r.A]+1]++
+		adjPtr[nodeID[r.B]+1]++
 	}
-	reached := make(map[string]bool, len(c.nodes))
-	var queue []string
+	for i := 0; i < total; i++ {
+		adjPtr[i+1] += adjPtr[i]
+	}
+	adj := make([]int32, 2*len(c.resistors))
+	cursor := make([]int32, total)
+	copy(cursor, adjPtr[:total])
+	for _, r := range c.resistors {
+		a, b := nodeID[r.A], nodeID[r.B]
+		adj[cursor[a]] = int32(b)
+		cursor[a]++
+		adj[cursor[b]] = int32(a)
+		cursor[b]++
+	}
+	reached := make([]bool, total)
+	queue := make([]int32, 0, total)
 	for node := range known {
-		reached[node] = true
-		queue = append(queue, node)
+		if id, ok := nodeID[node]; ok && !reached[id] {
+			reached[id] = true
+			queue = append(queue, int32(id))
+		}
 	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, nb := range adj[cur] {
-			if !reached[nb] {
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for k := adjPtr[cur]; k < adjPtr[cur+1]; k++ {
+			if nb := adj[k]; !reached[nb] {
 				reached[nb] = true
 				queue = append(queue, nb)
 			}
 		}
 	}
 	for _, node := range sys.order {
-		if !reached[node] {
+		if !reached[nodeID[node]] {
 			return nil, fmt.Errorf("spice: node %q has no resistive path to a voltage reference (floating)", node)
+		}
+	}
+
+	// Pre-size every row's off-diagonal storage so the fill below never
+	// reallocates mid-append.
+	offCount := make([]int32, n)
+	for _, r := range c.resistors {
+		ia, aUnknown := sys.idx[r.A]
+		ib, bUnknown := sys.idx[r.B]
+		if aUnknown && bUnknown {
+			offCount[ia]++
+			offCount[ib]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if offCount[i] > 0 {
+			sys.offIdx[i] = make([]int32, 0, offCount[i])
+			sys.offVal[i] = make([]float64, 0, offCount[i])
 		}
 	}
 

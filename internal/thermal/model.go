@@ -25,6 +25,37 @@ type Config struct {
 	// Tolerance is the iterative-solver relative residual target
 	// (0 = solver default).
 	Tolerance float64
+	// UseSpice forces the legacy path that builds a string-named SPICE
+	// circuit and solves it with package spice. It exists as a
+	// cross-validation oracle for the structured-grid fast path (the
+	// default whenever Solver is MethodCG) and for SPICE deck export
+	// workflows; it is roughly an order of magnitude slower.
+	UseSpice bool
+}
+
+// FastPath reports whether the configuration is served by the
+// structured-grid CSR solver instead of the SPICE-circuit path. The
+// Gauss-Seidel and dense oracle methods always go through package spice.
+func (cfg Config) FastPath() bool { return !cfg.UseSpice && cfg.Solver == spice.MethodCG }
+
+// Equal reports whether two configurations describe the same thermal model
+// and solver setup; package flow uses it to decide whether a cached Solver
+// can be reused.
+func (cfg Config) Equal(o Config) bool {
+	if cfg.NX != o.NX || cfg.NY != o.NY ||
+		cfg.AmbientC != o.AmbientC ||
+		cfg.HBottom != o.HBottom || cfg.HTop != o.HTop || cfg.HSide != o.HSide ||
+		cfg.Solver != o.Solver || cfg.Tolerance != o.Tolerance ||
+		cfg.UseSpice != o.UseSpice ||
+		len(cfg.Stack) != len(o.Stack) {
+		return false
+	}
+	for i, l := range cfg.Stack {
+		if l != o.Stack[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // DefaultConfig returns the configuration used throughout the experiments:
@@ -199,9 +230,29 @@ func BuildNetwork(powerMap *geom.Grid, cfg Config) (*spice.Circuit, error) {
 	return c, nil
 }
 
-// Solve runs the full analysis: build the network, solve it, and collect the
-// per-layer temperature maps and summary metrics.
+// Solve runs the full analysis: assemble the steady-state system, solve it,
+// and collect the per-layer temperature maps and summary metrics.
+//
+// The default route is the structured-grid fast path (see Solver), which
+// assembles integer-indexed CSR directly from the configuration. Callers
+// that solve repeatedly should hold a Solver themselves to also reuse the
+// assembled structure and warm-start between solves; this function builds a
+// fresh one per call. The legacy SPICE-circuit path serves as the oracle
+// when cfg.UseSpice is set or a non-CG method is selected.
 func Solve(powerMap *geom.Grid, cfg Config) (*Result, error) {
+	if cfg.FastPath() {
+		s, err := NewSolver(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return s.Solve(powerMap) // reports power-map resolution mismatches
+	}
+	return solveSpice(powerMap, cfg)
+}
+
+// solveSpice is the legacy oracle path: build the named-node resistive
+// circuit and solve it with package spice.
+func solveSpice(powerMap *geom.Grid, cfg Config) (*Result, error) {
 	circuit, err := BuildNetwork(powerMap, cfg)
 	if err != nil {
 		return nil, err

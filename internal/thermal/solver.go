@@ -1,0 +1,302 @@
+package thermal
+
+import (
+	"fmt"
+
+	"thermplace/internal/geom"
+	"thermplace/internal/sparse"
+)
+
+// Solver is the structured-grid fast path: the steady-state thermal system
+// of a (NX x NY x layers) grid assembled directly into an integer-indexed
+// CSR matrix, with no string node names, no netlist and no maps anywhere on
+// the solve path.
+//
+// A Solver is built once per grid topology and reused across analyses: a
+// new power map only refreshes the right-hand side, and a new die region
+// (the sweep strategies grow the core, which changes the cell size and
+// hence every conductance) only refreshes the matrix values in place. Each
+// solve warm-starts the conjugate-gradient iteration from the previous
+// temperature field, which is how consecutive sweep points — whose
+// temperature fields differ by a few degrees at most — converge in a
+// fraction of the cold-start iteration count.
+//
+// Node (l, ix, iy) has index (l*NY+iy)*NX + ix, so a layer is a contiguous
+// NX*NY block laid out exactly like geom.Grid, and the per-layer
+// temperature maps are plain copies.
+type Solver struct {
+	cfg        Config
+	nx, ny, nl int
+	n          int // nx*ny*nl unknowns
+	powerLayer int
+
+	// cellW/cellH are the die-cell dimensions (um) the matrix values were
+	// assembled for; a solve against a region with different cell sizes
+	// triggers a value refresh.
+	cellW, cellH float64
+
+	mat *sparse.SymCSR
+	cg  *sparse.CG
+	// ambRHS is the constant ambient part of the right-hand side
+	// (conductance to ambient times ambient temperature, per node).
+	ambRHS []float64
+	rhs    []float64
+	// x is the temperature field of the previous solve, kept as the CG
+	// warm-start guess.
+	x    []float64
+	warm bool
+}
+
+// NewSolver validates the configuration and builds the sparsity pattern.
+// Matrix values are filled on the first Solve, when the die region (and so
+// the cell size) is known.
+func NewSolver(cfg Config) (*Solver, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Snapshot the stack: the caller's slice may be mutated in place after
+	// construction, and fillValues re-reads it on every geometry change.
+	cfg.Stack = append(Stack(nil), cfg.Stack...)
+	s := &Solver{
+		cfg:        cfg,
+		nx:         cfg.NX,
+		ny:         cfg.NY,
+		nl:         len(cfg.Stack),
+		n:          cfg.NX * cfg.NY * len(cfg.Stack),
+		powerLayer: cfg.Stack.PowerLayer(),
+	}
+	s.mat = sparse.NewSymCSR(s.n, s.countOffDiagonals())
+	s.fillPattern()
+	s.ambRHS = make([]float64, s.n)
+	s.rhs = make([]float64, s.n)
+	s.x = make([]float64, s.n)
+	s.cg = sparse.NewCG(s.mat, sparse.CGOptions{
+		Tolerance:     cfg.Tolerance,
+		MaxIterations: 10 * s.n,
+	})
+	return s, nil
+}
+
+// index returns the unknown index of thermal cell (ix, iy) in layer l.
+func (s *Solver) index(l, ix, iy int) int { return (l*s.ny+iy)*s.nx + ix }
+
+// countOffDiagonals returns the number of off-diagonal matrix entries: one
+// per direction in which a node has a neighbour.
+func (s *Solver) countOffDiagonals() int {
+	nxy := s.nx * s.ny
+	// Lateral links: (nx-1)*ny + nx*(ny-1) per layer, two entries each.
+	lateral := 2 * ((s.nx-1)*s.ny + s.nx*(s.ny-1)) * s.nl
+	// Vertical links: nxy per layer interface, two entries each.
+	vertical := 2 * nxy * (s.nl - 1)
+	return lateral + vertical
+}
+
+// fillPattern writes RowPtr and Col for the 7-point structured stencil.
+// Columns are emitted in ascending order: z-1, y-1, x-1, x+1, y+1, z+1.
+func (s *Solver) fillPattern() {
+	nxy := s.nx * s.ny
+	k := int32(0)
+	for l := 0; l < s.nl; l++ {
+		for iy := 0; iy < s.ny; iy++ {
+			for ix := 0; ix < s.nx; ix++ {
+				i := s.index(l, ix, iy)
+				s.mat.RowPtr[i] = k
+				if l > 0 {
+					s.mat.Col[k] = int32(i - nxy)
+					k++
+				}
+				if iy > 0 {
+					s.mat.Col[k] = int32(i - s.nx)
+					k++
+				}
+				if ix > 0 {
+					s.mat.Col[k] = int32(i - 1)
+					k++
+				}
+				if ix+1 < s.nx {
+					s.mat.Col[k] = int32(i + 1)
+					k++
+				}
+				if iy+1 < s.ny {
+					s.mat.Col[k] = int32(i + s.nx)
+					k++
+				}
+				if l+1 < s.nl {
+					s.mat.Col[k] = int32(i + nxy)
+					k++
+				}
+			}
+		}
+	}
+	s.mat.RowPtr[s.n] = k
+}
+
+// fillValues assembles the conductances for the given cell size, writing
+// matrix values and the ambient right-hand-side contribution in place. The
+// element formulas are exactly those of BuildNetwork, so the fast path and
+// the SPICE oracle solve the same linear system.
+func (s *Solver) fillValues(cellW, cellH float64) {
+	s.cellW, s.cellH = cellW, cellH
+	dx := cellW * metersPerUm
+	dy := cellH * metersPerUm
+	cellArea := dx * dy
+	cfg := &s.cfg
+
+	for i := range s.mat.Diag {
+		s.mat.Diag[i] = 0
+		s.ambRHS[i] = 0
+	}
+
+	// Per-layer lateral conductances and per-interface vertical
+	// conductances.
+	gLatX := make([]float64, s.nl)
+	gLatY := make([]float64, s.nl)
+	gVert := make([]float64, s.nl-1) // between layer l and l+1
+	for l, layer := range cfg.Stack {
+		dz := layer.Thickness * metersPerUm
+		k := layer.Conductivity
+		gLatX[l] = 1 / (dx / (k * dy * dz))
+		gLatY[l] = 1 / (dy / (k * dx * dz))
+		if l+1 < s.nl {
+			up := cfg.Stack[l+1]
+			rVert := (dz/2)/(k*cellArea) + (up.Thickness*metersPerUm/2)/(up.Conductivity*cellArea)
+			gVert[l] = 1 / rVert
+		}
+	}
+
+	k := 0 // running off-diagonal cursor, in pattern order
+	for l, layer := range cfg.Stack {
+		dz := layer.Thickness * metersPerUm
+		kc := layer.Conductivity
+		var gBot, gTop, gSideX, gSideY float64
+		if l == 0 && cfg.HBottom > 0 {
+			gBot = 1 / ((dz/2)/(kc*cellArea) + 1/(cfg.HBottom*cellArea))
+		}
+		if l == s.nl-1 && cfg.HTop > 0 {
+			gTop = 1 / ((dz/2)/(kc*cellArea) + 1/(cfg.HTop*cellArea))
+		}
+		if cfg.HSide > 0 {
+			faceX := dy * dz
+			gSideX = 1 / ((dx/2)/(kc*faceX) + 1/(cfg.HSide*faceX))
+			faceY := dx * dz
+			gSideY = 1 / ((dy/2)/(kc*faceY) + 1/(cfg.HSide*faceY))
+		}
+		for iy := 0; iy < s.ny; iy++ {
+			for ix := 0; ix < s.nx; ix++ {
+				i := s.index(l, ix, iy)
+				diag := 0.0
+				// Off-diagonals in pattern order: z-1, y-1, x-1, x+1,
+				// y+1, z+1.
+				if l > 0 {
+					s.mat.Val[k] = -gVert[l-1]
+					diag += gVert[l-1]
+					k++
+				}
+				if iy > 0 {
+					s.mat.Val[k] = -gLatY[l]
+					diag += gLatY[l]
+					k++
+				}
+				if ix > 0 {
+					s.mat.Val[k] = -gLatX[l]
+					diag += gLatX[l]
+					k++
+				}
+				if ix+1 < s.nx {
+					s.mat.Val[k] = -gLatX[l]
+					diag += gLatX[l]
+					k++
+				}
+				if iy+1 < s.ny {
+					s.mat.Val[k] = -gLatY[l]
+					diag += gLatY[l]
+					k++
+				}
+				if l+1 < s.nl {
+					s.mat.Val[k] = -gVert[l]
+					diag += gVert[l]
+					k++
+				}
+				// Ambient boundaries add to the diagonal and to the
+				// constant RHS part.
+				gAmb := 0.0
+				if l == 0 {
+					gAmb += gBot
+				}
+				if l == s.nl-1 {
+					gAmb += gTop
+				}
+				if ix == 0 || ix == s.nx-1 {
+					gAmb += gSideX
+				}
+				if iy == 0 || iy == s.ny-1 {
+					gAmb += gSideY
+				}
+				s.mat.Diag[i] = diag + gAmb
+				s.ambRHS[i] = gAmb * cfg.AmbientC
+			}
+		}
+	}
+}
+
+// Solve runs one steady-state analysis for the power map, reusing the
+// assembled structure and warm-starting from the previous solution. The
+// power map must match the solver's NX x NY resolution; its region sets
+// the physical cell size.
+func (s *Solver) Solve(powerMap *geom.Grid) (*Result, error) {
+	if powerMap.NX != s.nx || powerMap.NY != s.ny {
+		return nil, fmt.Errorf("thermal: power map resolution %dx%d does not match solver %dx%d",
+			powerMap.NX, powerMap.NY, s.nx, s.ny)
+	}
+	cellW, cellH := powerMap.CellW(), powerMap.CellH()
+	if cellW != s.cellW || cellH != s.cellH {
+		s.fillValues(cellW, cellH)
+	}
+
+	copy(s.rhs, s.ambRHS)
+	nxy := s.nx * s.ny
+	powerBase := s.powerLayer * nxy
+	pw := powerMap.Values() // same iy*NX+ix layout as the solver's layers
+	for c, p := range pw {
+		if p != 0 {
+			s.rhs[powerBase+c] += p
+		}
+	}
+
+	if !s.warm {
+		// First solve: the ambient temperature is a much better guess than
+		// zero (the solution is ambient plus a few degrees of rise).
+		for i := range s.x {
+			s.x[i] = s.cfg.AmbientC
+		}
+		s.warm = true
+	}
+	iters, residual, err := s.cg.Solve(s.rhs, s.x)
+	if err != nil {
+		s.warm = false // do not warm-start from a failed iterate
+		return nil, fmt.Errorf("thermal: solving %dx%dx%d system: %w", s.nx, s.ny, s.nl, err)
+	}
+
+	res := &Result{
+		AmbientC:       s.cfg.AmbientC,
+		Iterations:     iters,
+		SolverResidual: residual,
+		Layers:         make([]*geom.Grid, s.nl),
+	}
+	for l := 0; l < s.nl; l++ {
+		g := geom.NewGrid(s.nx, s.ny, powerMap.Region)
+		copy(g.Values(), s.x[l*nxy:(l+1)*nxy])
+		res.Layers[l] = g
+	}
+	res.Surface = res.Layers[s.powerLayer]
+	res.PeakC, _, _ = res.Surface.Max()
+	res.PeakRise = res.PeakC - s.cfg.AmbientC
+	res.GradientC = res.Surface.Gradient()
+	return res, nil
+}
+
+// Unknowns returns the size of the assembled linear system.
+func (s *Solver) Unknowns() int { return s.n }
+
+// Workers returns the CG solver's degree of parallelism.
+func (s *Solver) Workers() int { return s.cg.Workers() }

@@ -55,7 +55,8 @@ func (s Stack) TotalThickness() float64 {
 // side, so the effective vertical path to ambient (DefaultConfig's heat
 // transfer coefficients) is chosen to give a lateral thermal spreading
 // length of a few tens of micrometres. That keeps hotspots localized at the
-// scale of the paper's thermal maps; see DESIGN.md for the calibration note.
+// scale of the paper's thermal maps; see the design notes in README.md for
+// the calibration note.
 func DefaultStack() Stack {
 	return Stack{
 		{Name: "die-attach", Thickness: 5, Conductivity: 2},
