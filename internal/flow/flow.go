@@ -124,14 +124,17 @@ func (f *Flow) PlaceAt(utilization float64) (*place.Placement, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flow: floorplanning at %.2f utilization: %w", utilization, err)
 	}
-	p, err := place.Place(f.Design, fp)
+	p, err := place.PlaceWithoutFillers(f.Design, fp)
 	if err != nil {
 		return nil, fmt.Errorf("flow: placement at %.2f utilization: %w", utilization, err)
 	}
 	if f.Config.RefinePasses > 0 {
 		place.RefineHPWL(p, f.Config.RefinePasses)
-		place.InsertFillers(p)
 	}
+	// Fillers are inserted exactly once, on the final (possibly refined)
+	// cell positions; inserting them before refinement would leave stale
+	// fillers overlapping the swapped cells.
+	place.InsertFillers(p)
 	return p, nil
 }
 

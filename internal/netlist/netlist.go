@@ -39,7 +39,14 @@ type Port struct {
 	Dir  PortDir
 	// Net is the net attached to the port.
 	Net *Net
+	// ord is the dense per-design ordinal, assigned at creation.
+	ord int
 }
+
+// Ord returns the port's dense ordinal: its index in the design's creation
+// order, stable for the lifetime of the design. Slices keyed by Ord replace
+// map[*Port] lookups in the placement hot paths.
+func (p *Port) Ord() int { return p.ord }
 
 // Instance is one placed-or-unplaced occurrence of a library cell.
 type Instance struct {
@@ -54,7 +61,15 @@ type Instance struct {
 	Unit string
 	// conns maps pin name to the connected net.
 	conns map[string]*Net
+	// ord is the dense per-design ordinal, assigned at creation.
+	ord int
 }
+
+// Ord returns the instance's dense ordinal: its index in the design's
+// creation order (Design.Instances()[inst.Ord()] == inst), stable for the
+// lifetime of the design. The placement engine keys its location and
+// occupancy slices by this ordinal instead of map[*Instance] lookups.
+func (inst *Instance) Ord() int { return inst.ord }
 
 // Conn returns the net connected to the named pin, or nil.
 func (inst *Instance) Conn(pin string) *Net { return inst.conns[pin] }
@@ -99,7 +114,14 @@ type Net struct {
 	Driver PinRef
 	// Loads are the sinks: instance input pins and primary output ports.
 	Loads []PinRef
+	// ord is the dense per-design ordinal, assigned at creation.
+	ord int
 }
+
+// Ord returns the net's dense ordinal: its index in the design's creation
+// order (Design.Nets()[n.Ord()] == n), stable for the lifetime of the
+// design. The placement bounding-box cache is keyed by this ordinal.
+func (n *Net) Ord() int { return n.ord }
 
 // HasDriver reports whether the net has a driver.
 func (n *Net) HasDriver() bool { return n.Driver.Inst != nil || n.Driver.Port != nil }
@@ -151,6 +173,7 @@ func (d *Design) AddPort(name string, dir PortDir) (*Port, error) {
 	} else {
 		net.Loads = append(net.Loads, PinRef{Port: p})
 	}
+	p.ord = len(d.portOrder)
 	d.ports[name] = p
 	d.portOrder = append(d.portOrder, p)
 	return p, nil
@@ -161,7 +184,7 @@ func (d *Design) AddNet(name string) (*Net, error) {
 	if _, ok := d.nets[name]; ok {
 		return nil, fmt.Errorf("netlist: duplicate net %q", name)
 	}
-	n := &Net{Name: name}
+	n := &Net{Name: name, ord: len(d.netOrder)}
 	d.nets[name] = n
 	d.netOrder = append(d.netOrder, n)
 	return n, nil
@@ -186,7 +209,7 @@ func (d *Design) AddInstance(name, masterName, unit string) (*Instance, error) {
 	if m == nil {
 		return nil, fmt.Errorf("netlist: instance %q references unknown master %q", name, masterName)
 	}
-	inst := &Instance{Name: name, Master: m, Unit: unit, conns: make(map[string]*Net)}
+	inst := &Instance{Name: name, Master: m, Unit: unit, conns: make(map[string]*Net), ord: len(d.instOrder)}
 	d.instances[name] = inst
 	d.instOrder = append(d.instOrder, inst)
 	return inst, nil

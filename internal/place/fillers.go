@@ -1,7 +1,5 @@
 package place
 
-import "sort"
-
 // InsertFillers fills every gap between placed cells (and between cells and
 // the row ends) with the widest filler masters that fit, replacing any
 // previously recorded fillers. Filler cells consume no power; they exist to
@@ -22,12 +20,10 @@ func InsertFillers(p *Placement) float64 {
 
 	for row := 0; row < fp.NumRows(); row++ {
 		r := fp.Rows[row]
+		// rowOccupants is already sorted by (X, name); re-sorting it with an
+		// X-only comparator used to reorder equal-X entries arbitrarily and
+		// made the filler list non-deterministic.
 		occ := p.rowOccupants(row)
-		sort.Slice(occ, func(i, j int) bool {
-			li, _ := p.Loc(occ[i])
-			lj, _ := p.Loc(occ[j])
-			return li.X < lj.X
-		})
 		cursor := r.X0
 		fillGap := func(from, to float64) {
 			gap := to - from

@@ -10,18 +10,25 @@ import (
 // into a legal one while moving cells as little as possible:
 //
 //  1. every cell is snapped to its nearest row,
-//  2. rows whose contents exceed their capacity spill their right-most
-//     cells into the nearest row with free space,
+//  2. rows whose contents exceed their capacity spill the cell farthest
+//     from the row centre into the nearest row with free space (the
+//     cheapest eviction: it never disturbs the packed middle, and overflow
+//     near either row edge is resolved locally instead of travelling across
+//     the row),
 //  3. within every row, cells keep their left-to-right order and are shifted
 //     just enough to remove overlaps and stay inside the row, snapped to the
 //     site grid.
+//
+// Row occupancy widths are tracked incrementally across the spill pass, so
+// legalization never re-sums or re-sorts a row per eviction.
 //
 // This is a simplified Tetris/Abacus-style legalizer: adequate for the
 // post-placement transforms, which only perturb cells locally.
 func Legalize(p *Placement) {
 	fp := p.FP
-	// Pass 1: snap each cell to the nearest row.
+	// Pass 1: snap each cell to the nearest row, tracking per-row widths.
 	rowCells := make([][]*netlist.Instance, fp.NumRows())
+	rowUsed := make([]float64, fp.NumRows())
 	for _, inst := range p.Design.Instances() {
 		if inst.IsFiller() {
 			continue
@@ -35,38 +42,32 @@ func Legalize(p *Placement) {
 		l.Y = row.Y
 		p.SetLoc(inst, l)
 		rowCells[row.Index] = append(rowCells[row.Index], inst)
+		rowUsed[row.Index] += inst.Master.Width
 	}
 
-	rowUsed := func(row int) float64 {
-		used := 0.0
-		for _, c := range rowCells[row] {
-			used += c.Master.Width
-		}
-		return used
-	}
-
-	// Pass 2: spill overfull rows into the nearest rows with space.
+	// Pass 2: spill overfull rows into the nearest rows with space. Each
+	// row is sorted once; the farthest-from-centre candidate is then always
+	// at one of the two ends of the remaining span.
 	for row := 0; row < fp.NumRows(); row++ {
 		capacity := fp.Rows[row].Width()
-		for rowUsed(row) > capacity && len(rowCells[row]) > 0 {
-			// Evict the cell farthest from the row centre in x (cheapest to
-			// move without disturbing the packed middle).
-			cells := rowCells[row]
-			sort.Slice(cells, func(i, j int) bool {
-				li, _ := p.Loc(cells[i])
-				lj, _ := p.Loc(cells[j])
-				if li.X != lj.X {
-					return li.X < lj.X
-				}
-				return cells[i].Name < cells[j].Name
-			})
-			victim := cells[len(cells)-1]
-			rowCells[row] = cells[:len(cells)-1]
-			target := findRowWithSpace(p, rowCells, row, victim.Master.Width)
+		if rowUsed[row] <= capacity || len(rowCells[row]) == 0 {
+			continue
+		}
+		cells := rowCells[row]
+		sortCellsByX(p, cells)
+		centre := (fp.Rows[row].X0 + fp.Rows[row].X1) / 2
+		lo, hi := 0, len(cells)-1
+		for rowUsed[row] > capacity && lo <= hi {
+			victim := cells[hi]
+			fromLeft := false
+			if distFromCentre(p, cells[lo], centre) > distFromCentre(p, cells[hi], centre) {
+				victim = cells[lo]
+				fromLeft = true
+			}
+			target := findRowWithSpace(p, rowUsed, row, victim.Master.Width)
 			if target < 0 {
 				// No space anywhere: keep the cell in place; Validate will
 				// flag the overflow for the caller.
-				rowCells[row] = append(rowCells[row], victim)
 				break
 			}
 			l, _ := p.Loc(victim)
@@ -74,7 +75,15 @@ func Legalize(p *Placement) {
 			l.Y = fp.Rows[target].Y
 			p.SetLoc(victim, l)
 			rowCells[target] = append(rowCells[target], victim)
+			rowUsed[target] += victim.Master.Width
+			rowUsed[row] -= victim.Master.Width
+			if fromLeft {
+				lo++
+			} else {
+				hi--
+			}
 		}
+		rowCells[row] = cells[lo : hi+1]
 	}
 
 	// Pass 3: remove overlaps within each row with a two-sided sweep.
@@ -83,23 +92,41 @@ func Legalize(p *Placement) {
 	}
 }
 
-// findRowWithSpace returns the row index nearest to from that can absorb an
-// extra cell of the given width, or -1 when none exists.
-func findRowWithSpace(p *Placement, rowCells [][]*netlist.Instance, from int, width float64) int {
-	fp := p.FP
-	used := func(row int) float64 {
-		u := 0.0
-		for _, c := range rowCells[row] {
-			u += c.Master.Width
-		}
-		return u
+// distFromCentre returns the horizontal distance of the cell's centre from
+// the row centre.
+func distFromCentre(p *Placement, inst *netlist.Instance, centre float64) float64 {
+	l, _ := p.Loc(inst)
+	d := l.X + inst.Master.Width/2 - centre
+	if d < 0 {
+		return -d
 	}
+	return d
+}
+
+// sortCellsByX orders the cells by x position, breaking ties by name so the
+// order (and everything downstream of it) is deterministic.
+func sortCellsByX(p *Placement, cells []*netlist.Instance) {
+	sort.Slice(cells, func(i, j int) bool {
+		li, _ := p.Loc(cells[i])
+		lj, _ := p.Loc(cells[j])
+		if li.X != lj.X {
+			return li.X < lj.X
+		}
+		return cells[i].Name < cells[j].Name
+	})
+}
+
+// findRowWithSpace returns the row index nearest to from that can absorb an
+// extra cell of the given width according to the tracked row widths, or -1
+// when none exists.
+func findRowWithSpace(p *Placement, rowUsed []float64, from int, width float64) int {
+	fp := p.FP
 	for d := 1; d < fp.NumRows(); d++ {
 		for _, row := range []int{from - d, from + d} {
 			if row < 0 || row >= fp.NumRows() {
 				continue
 			}
-			if used(row)+width <= fp.Rows[row].Width() {
+			if rowUsed[row]+width <= fp.Rows[row].Width() {
 				return row
 			}
 		}
@@ -115,14 +142,7 @@ func packRow(p *Placement, cells []*netlist.Instance, x0, x1 float64) {
 		return
 	}
 	fp := p.FP
-	sort.Slice(cells, func(i, j int) bool {
-		li, _ := p.Loc(cells[i])
-		lj, _ := p.Loc(cells[j])
-		if li.X != lj.X {
-			return li.X < lj.X
-		}
-		return cells[i].Name < cells[j].Name
-	})
+	sortCellsByX(p, cells)
 	// Left-to-right sweep: push cells right so they do not overlap.
 	prevEnd := x0
 	for _, c := range cells {

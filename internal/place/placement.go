@@ -39,47 +39,277 @@ func (f Filler) Rect(rowHeight float64) geom.Rect {
 }
 
 // Placement binds a design to cell locations within a floorplan.
+//
+// Internally every per-instance, per-net and per-port attribute is stored in
+// a dense slice keyed by the netlist ordinals (Instance.Ord, Net.Ord,
+// Port.Ord) rather than in maps, and per-row occupancy lists are maintained
+// incrementally by SetLoc, so row queries (rowOccupants, Validate,
+// InsertFillers, WhitespacePerRow) cost O(row size) instead of a scan over
+// all instances. Net bounding boxes are cached and invalidated per SetLoc.
+//
+// The placement assumes the design's structure (instances, nets, pin
+// connections) is frozen once the placement exists: connecting new pins to
+// an already-cached net afterwards would not invalidate its cached bounding
+// box. All construction paths in this repository build the netlist fully
+// before placing it.
 type Placement struct {
 	Design *netlist.Design
 	FP     *floorplan.Floorplan
 
-	locs     map[*netlist.Instance]Loc
-	portLocs map[*netlist.Port]geom.Point
+	insts []*netlist.Instance // Design.Instances(), indexed by ordinal
+	nets  []*netlist.Net      // Design.Nets(), indexed by ordinal
+
+	locs   []Loc  // by instance ordinal
+	placed []bool // by instance ordinal
+
+	portLocs  []geom.Point // by port ordinal
+	portKnown []bool       // by port ordinal
+
+	// rowOcc[row] lists the ordinals of the instances placed in that row,
+	// kept sorted by (X, Name); rowPos[ord] is the instance's index within
+	// its row list (-1 when unplaced or in a negative row). strays collects
+	// placed instances with a negative row index, which cannot be bucketed.
+	rowOcc [][]int32
+	rowPos []int32
+	strays []int32
+
+	// misaligned[ord] marks a placed instance whose Y deviates from its
+	// row's Y by more than half a row height (or whose row index is outside
+	// the floorplan). While misalignedCount is zero, geometric queries may
+	// prune by row index; otherwise they fall back to a full scan so the
+	// row buckets never change observable results.
+	misaligned      []bool
+	misalignedCount int
+
+	// netBox caches per-net pin bounding boxes; SetLoc and SetPortLoc
+	// invalidate the nets touching the moved cell or port.
+	netBox      []geom.Rect
+	netBoxValid []bool
+
+	// instNets[ord] lists the distinct net ordinals touching the instance,
+	// in master pin order. It is derived from the (frozen) netlist once and
+	// shared between clones.
+	instNets [][]int32
+
 	// Fillers are the dummy cells occupying whitespace.
 	Fillers []Filler
 }
 
 // NewPlacement creates an empty placement for the design and floorplan.
 func NewPlacement(d *netlist.Design, fp *floorplan.Floorplan) *Placement {
-	return &Placement{
-		Design:   d,
-		FP:       fp,
-		locs:     make(map[*netlist.Instance]Loc, d.NumInstances()),
-		portLocs: make(map[*netlist.Port]geom.Point, len(d.Ports())),
+	p := &Placement{
+		Design:      d,
+		FP:          fp,
+		insts:       d.Instances(),
+		nets:        d.Nets(),
+		locs:        make([]Loc, d.NumInstances()),
+		placed:      make([]bool, d.NumInstances()),
+		portLocs:    make([]geom.Point, len(d.Ports())),
+		portKnown:   make([]bool, len(d.Ports())),
+		rowOcc:      make([][]int32, fp.NumRows()),
+		rowPos:      make([]int32, d.NumInstances()),
+		misaligned:  make([]bool, d.NumInstances()),
+		netBox:      make([]geom.Rect, d.NumNets()),
+		netBoxValid: make([]bool, d.NumNets()),
+	}
+	for i := range p.rowPos {
+		p.rowPos[i] = -1
+	}
+	p.instNets = buildInstNets(d)
+	return p
+}
+
+// buildInstNets collects, for every instance, the distinct ordinals of the
+// nets on its pins, iterating in master pin order so the result (and every
+// computation that walks it) is deterministic. All per-instance lists are
+// sub-slices of one backing array: the pin count bounds the total size, so
+// the backing never reallocates and the whole index costs two allocations.
+func buildInstNets(d *netlist.Design) [][]int32 {
+	insts := d.Instances()
+	out := make([][]int32, len(insts))
+	total := 0
+	for _, inst := range insts {
+		total += len(inst.Master.Pins)
+	}
+	backing := make([]int32, 0, total)
+	for i, inst := range insts {
+		start := len(backing)
+		for _, pin := range inst.Master.Pins {
+			n := inst.Conn(pin.Name)
+			if n == nil {
+				continue
+			}
+			ord := int32(n.Ord())
+			dup := false
+			for _, seen := range backing[start:] {
+				if seen == ord {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				backing = append(backing, ord)
+			}
+		}
+		out[i] = backing[start:len(backing):len(backing)]
+	}
+	return out
+}
+
+// ensureInst grows the per-instance slices when the design gained instances
+// after the placement was created (which no current construction path does,
+// but an index panic would be a far worse failure mode than a rebuild).
+func (p *Placement) ensureInst(ord int) {
+	if ord < len(p.locs) {
+		return
+	}
+	p.insts = p.Design.Instances()
+	p.nets = p.Design.Nets()
+	n := p.Design.NumInstances()
+	if ord >= n {
+		n = ord + 1
+	}
+	grown := make([]Loc, n)
+	copy(grown, p.locs)
+	p.locs = grown
+	p.placed = append(p.placed, make([]bool, n-len(p.placed))...)
+	p.misaligned = append(p.misaligned, make([]bool, n-len(p.misaligned))...)
+	pos := make([]int32, n)
+	copy(pos, p.rowPos)
+	for i := len(p.rowPos); i < n; i++ {
+		pos[i] = -1
+	}
+	p.rowPos = pos
+	p.instNets = buildInstNets(p.Design)
+}
+
+// rowAligned reports whether the location's Y sits within half a row height
+// of its row's Y coordinate, the invariant the row-pruned geometric queries
+// rely on.
+func (p *Placement) rowAligned(l Loc) bool {
+	if l.Row < 0 || l.Row >= len(p.FP.Rows) {
+		return false
+	}
+	return math.Abs(l.Y-p.FP.Rows[l.Row].Y) <= p.FP.RowHeight/2
+}
+
+// SetLoc places (or re-places) the instance at loc, maintaining the per-row
+// occupancy lists and invalidating the cached bounding boxes of the nets
+// touching the instance.
+func (p *Placement) SetLoc(inst *netlist.Instance, loc Loc) {
+	ord := inst.Ord()
+	p.ensureInst(ord)
+	if p.placed[ord] {
+		if p.locs[ord] == loc {
+			return
+		}
+		p.removeFromRow(ord)
+		if p.misaligned[ord] {
+			p.misaligned[ord] = false
+			p.misalignedCount--
+		}
+	}
+	p.locs[ord] = loc
+	p.placed[ord] = true
+	if loc.Row >= 0 {
+		p.insertIntoRow(ord, inst, loc)
+	} else {
+		p.rowPos[ord] = -1
+		p.strays = append(p.strays, int32(ord))
+	}
+	if !p.rowAligned(loc) {
+		p.misaligned[ord] = true
+		p.misalignedCount++
+	}
+	for _, netOrd := range p.instNets[ord] {
+		if int(netOrd) < len(p.netBoxValid) {
+			p.netBoxValid[netOrd] = false
+		}
 	}
 }
 
-// SetLoc places (or re-places) the instance at loc.
-func (p *Placement) SetLoc(inst *netlist.Instance, loc Loc) { p.locs[inst] = loc }
+// removeFromRow detaches a placed instance from its occupancy bucket (or
+// from the stray list when its row was negative).
+func (p *Placement) removeFromRow(ord int) {
+	pos := p.rowPos[ord]
+	if pos < 0 {
+		for i, s := range p.strays {
+			if s == int32(ord) {
+				p.strays = append(p.strays[:i], p.strays[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	row := p.locs[ord].Row
+	bucket := p.rowOcc[row]
+	copy(bucket[pos:], bucket[pos+1:])
+	bucket = bucket[:len(bucket)-1]
+	p.rowOcc[row] = bucket
+	for i := int(pos); i < len(bucket); i++ {
+		p.rowPos[bucket[i]] = int32(i)
+	}
+	p.rowPos[ord] = -1
+}
+
+// insertIntoRow inserts the instance into its row bucket, keeping the bucket
+// sorted by (X, Name). loc must already be stored in p.locs[ord].
+func (p *Placement) insertIntoRow(ord int, inst *netlist.Instance, loc Loc) {
+	for loc.Row >= len(p.rowOcc) {
+		p.rowOcc = append(p.rowOcc, nil)
+	}
+	bucket := p.rowOcc[loc.Row]
+	idx := sort.Search(len(bucket), func(i int) bool {
+		o := bucket[i]
+		if l := p.locs[o]; l.X != loc.X {
+			return l.X > loc.X
+		}
+		return p.insts[o].Name > inst.Name
+	})
+	bucket = append(bucket, 0)
+	copy(bucket[idx+1:], bucket[idx:])
+	bucket[idx] = int32(ord)
+	p.rowOcc[loc.Row] = bucket
+	for i := idx; i < len(bucket); i++ {
+		p.rowPos[bucket[i]] = int32(i)
+	}
+}
 
 // Loc returns the location of the instance and whether it has been placed.
 func (p *Placement) Loc(inst *netlist.Instance) (Loc, bool) {
-	l, ok := p.locs[inst]
-	return l, ok
+	ord := inst.Ord()
+	if ord >= len(p.locs) || !p.placed[ord] {
+		return Loc{}, false
+	}
+	return p.locs[ord], true
 }
 
 // SetPortLoc records the physical position of a top-level port (pad).
-func (p *Placement) SetPortLoc(port *netlist.Port, pt geom.Point) { p.portLocs[port] = pt }
+func (p *Placement) SetPortLoc(port *netlist.Port, pt geom.Point) {
+	ord := port.Ord()
+	for ord >= len(p.portLocs) {
+		p.portLocs = append(p.portLocs, geom.Point{})
+		p.portKnown = append(p.portKnown, false)
+	}
+	p.portLocs[ord] = pt
+	p.portKnown[ord] = true
+	if n := port.Net; n != nil && n.Ord() < len(p.netBoxValid) {
+		p.netBoxValid[n.Ord()] = false
+	}
+}
 
 // PortLoc returns the position of a port and whether it is known.
 func (p *Placement) PortLoc(port *netlist.Port) (geom.Point, bool) {
-	pt, ok := p.portLocs[port]
-	return pt, ok
+	ord := port.Ord()
+	if ord >= len(p.portLocs) || !p.portKnown[ord] {
+		return geom.Point{}, false
+	}
+	return p.portLocs[ord], true
 }
 
 // CellRect returns the physical rectangle of a placed instance.
 func (p *Placement) CellRect(inst *netlist.Instance) (geom.Rect, bool) {
-	l, ok := p.locs[inst]
+	l, ok := p.Loc(inst)
 	if !ok {
 		return geom.Rect{}, false
 	}
@@ -99,20 +329,31 @@ func (p *Placement) Center(inst *netlist.Instance) geom.Point {
 }
 
 // Clone returns a deep copy of the placement, including a cloned floorplan
-// so that post-placement transforms never alias the original.
+// so that post-placement transforms never alias the original. The derived
+// per-instance net lists are shared: they depend only on the (immutable)
+// design.
 func (p *Placement) Clone() *Placement {
 	out := &Placement{
-		Design:   p.Design,
-		FP:       p.FP.Clone(),
-		locs:     make(map[*netlist.Instance]Loc, len(p.locs)),
-		portLocs: make(map[*netlist.Port]geom.Point, len(p.portLocs)),
-		Fillers:  append([]Filler(nil), p.Fillers...),
+		Design:          p.Design,
+		FP:              p.FP.Clone(),
+		insts:           p.insts,
+		nets:            p.nets,
+		locs:            append([]Loc(nil), p.locs...),
+		placed:          append([]bool(nil), p.placed...),
+		portLocs:        append([]geom.Point(nil), p.portLocs...),
+		portKnown:       append([]bool(nil), p.portKnown...),
+		rowOcc:          make([][]int32, len(p.rowOcc)),
+		rowPos:          append([]int32(nil), p.rowPos...),
+		strays:          append([]int32(nil), p.strays...),
+		misaligned:      append([]bool(nil), p.misaligned...),
+		misalignedCount: p.misalignedCount,
+		netBox:          append([]geom.Rect(nil), p.netBox...),
+		netBoxValid:     append([]bool(nil), p.netBoxValid...),
+		instNets:        p.instNets,
+		Fillers:         append([]Filler(nil), p.Fillers...),
 	}
-	for k, v := range p.locs {
-		out.locs[k] = v
-	}
-	for k, v := range p.portLocs {
-		out.portLocs[k] = v
+	for i, bucket := range p.rowOcc {
+		out.rowOcc[i] = append([]int32(nil), bucket...)
 	}
 	return out
 }
@@ -121,8 +362,7 @@ func (p *Placement) Clone() *Placement {
 // the owning cell, or the port pad location.
 func (p *Placement) pinPoint(ref netlist.PinRef) (geom.Point, bool) {
 	if ref.IsPort() {
-		pt, ok := p.portLocs[ref.Port]
-		return pt, ok
+		return p.PortLoc(ref.Port)
 	}
 	if ref.Inst == nil {
 		return geom.Point{}, false
@@ -134,11 +374,29 @@ func (p *Placement) pinPoint(ref netlist.PinRef) (geom.Point, bool) {
 	return r.Center(), true
 }
 
-// NetBBox returns the bounding box of all placed pins of the net. The box
-// is accumulated point by point (no intermediate slice): this runs once per
-// net per power estimate, which makes it one of the hottest loops of an
-// analysis.
+// NetBBox returns the bounding box of all placed pins of the net. The box is
+// cached per net and invalidated by SetLoc/SetPortLoc for the nets touching
+// the moved cell, so repeated wirelength and power queries on an unchanged
+// placement cost a slice load instead of a pin scan.
 func (p *Placement) NetBBox(n *netlist.Net) geom.Rect {
+	ord := n.Ord()
+	if ord < len(p.netBoxValid) && p.netBoxValid[ord] {
+		return p.netBox[ord]
+	}
+	box := p.computeNetBBox(n)
+	for ord >= len(p.netBox) {
+		p.netBox = append(p.netBox, geom.Rect{})
+		p.netBoxValid = append(p.netBoxValid, false)
+	}
+	p.netBox[ord] = box
+	p.netBoxValid[ord] = true
+	return box
+}
+
+// computeNetBBox accumulates the net's pin bounding box point by point (no
+// intermediate slice), in the fixed order driver-then-loads so the result is
+// bit-identical across recomputations.
+func (p *Placement) computeNetBBox(n *netlist.Net) geom.Rect {
 	var box geom.Rect
 	found := false
 	include := func(pt geom.Point) {
@@ -210,8 +468,8 @@ func (p *Placement) UtilizationGrid(nx, ny int) *geom.Grid {
 // PlacedArea returns the total placed non-filler cell area in um^2.
 func (p *Placement) PlacedArea() float64 {
 	total := 0.0
-	for inst := range p.locs {
-		if !inst.IsFiller() {
+	for ord, inst := range p.insts {
+		if p.placed[ord] && !inst.IsFiller() {
 			total += inst.Master.Area(p.FP.RowHeight)
 		}
 	}
@@ -223,14 +481,51 @@ func (p *Placement) PlacedArea() float64 {
 func (p *Placement) Utilization() float64 { return p.PlacedArea() / p.FP.CoreArea() }
 
 // InstancesInRect returns the placed non-filler instances whose centres lie
-// inside r.
+// inside r, in design creation order.
 func (p *Placement) InstancesInRect(r geom.Rect) []*netlist.Instance {
-	var out []*netlist.Instance
-	for _, inst := range p.Design.Instances() {
-		if inst.IsFiller() {
-			continue
+	if p.misalignedCount > 0 {
+		return p.instancesInRectScan(r)
+	}
+	// Every placed cell sits on its row (centre Y = row Y + rowHeight/2), so
+	// only rows whose centre line can fall inside r need scanning. The range
+	// is padded by one row to absorb the sub-half-row Y tolerance rowAligned
+	// allows; the exact per-cell containment check below decides membership.
+	fp := p.FP
+	rh := fp.RowHeight
+	lo := int(math.Floor((r.Ylo-fp.Core.Ylo-rh/2)/rh)) - 1
+	hi := int(math.Ceil((r.Yhi-fp.Core.Ylo-rh/2)/rh)) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(p.rowOcc) {
+		hi = len(p.rowOcc) - 1
+	}
+	var ords []int32
+	for row := lo; row <= hi; row++ {
+		for _, ord := range p.rowOcc[row] {
+			inst := p.insts[ord]
+			if inst.IsFiller() {
+				continue
+			}
+			if r.Contains(p.Center(inst)) {
+				ords = append(ords, ord)
+			}
 		}
-		if _, ok := p.locs[inst]; !ok {
+	}
+	sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
+	out := make([]*netlist.Instance, len(ords))
+	for i, ord := range ords {
+		out[i] = p.insts[ord]
+	}
+	return out
+}
+
+// instancesInRectScan is the exact fallback used while any placed cell's Y
+// is inconsistent with its row index.
+func (p *Placement) instancesInRectScan(r geom.Rect) []*netlist.Instance {
+	var out []*netlist.Instance
+	for ord, inst := range p.insts {
+		if inst.IsFiller() || !p.placed[ord] {
 			continue
 		}
 		if r.Contains(p.Center(inst)) {
@@ -240,21 +535,21 @@ func (p *Placement) InstancesInRect(r geom.Rect) []*netlist.Instance {
 	return out
 }
 
-// rowOccupants returns placed instances in the given row sorted by x.
+// rowOccupants returns placed instances in the given row sorted by x (name
+// breaking ties). The returned slice is a copy: callers may reorder it while
+// re-placing cells without corrupting the underlying occupancy index.
 func (p *Placement) rowOccupants(row int) []*netlist.Instance {
-	var out []*netlist.Instance
-	for _, inst := range p.Design.Instances() {
-		if l, ok := p.locs[inst]; ok && l.Row == row {
-			out = append(out, inst)
-		}
+	if row < 0 || row >= len(p.rowOcc) {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool {
-		li, lj := p.locs[out[i]], p.locs[out[j]]
-		if li.X != lj.X {
-			return li.X < lj.X
-		}
-		return out[i].Name < out[j].Name
-	})
+	bucket := p.rowOcc[row]
+	if len(bucket) == 0 {
+		return nil
+	}
+	out := make([]*netlist.Instance, len(bucket))
+	for i, ord := range bucket {
+		out[i] = p.insts[ord]
+	}
 	return out
 }
 
@@ -269,7 +564,7 @@ func (p *Placement) Validate() []error {
 		if inst.IsFiller() {
 			continue
 		}
-		l, ok := p.locs[inst]
+		l, ok := p.Loc(inst)
 		if !ok {
 			errs = append(errs, fmt.Errorf("place: instance %q not placed", inst.Name))
 			continue
@@ -289,14 +584,14 @@ func (p *Placement) Validate() []error {
 			errs = append(errs, fmt.Errorf("place: instance %q x=%g not aligned to site grid", inst.Name, l.X))
 		}
 	}
-	// Overlap check per row.
-	for row := 0; row < fp.NumRows(); row++ {
-		occ := p.rowOccupants(row)
-		for i := 1; i < len(occ); i++ {
-			prev, cur := p.locs[occ[i-1]], p.locs[occ[i]]
-			prevEnd := prev.X + occ[i-1].Master.Width
-			if cur.X < prevEnd-eps {
-				errs = append(errs, fmt.Errorf("place: overlap in row %d between %q and %q", row, occ[i-1].Name, occ[i].Name))
+	// Overlap check per row, straight off the sorted occupancy lists.
+	for row := 0; row < fp.NumRows() && row < len(p.rowOcc); row++ {
+		bucket := p.rowOcc[row]
+		for i := 1; i < len(bucket); i++ {
+			prev, cur := p.insts[bucket[i-1]], p.insts[bucket[i]]
+			prevEnd := p.locs[bucket[i-1]].X + prev.Master.Width
+			if p.locs[bucket[i]].X < prevEnd-eps {
+				errs = append(errs, fmt.Errorf("place: overlap in row %d between %q and %q", row, prev.Name, cur.Name))
 			}
 		}
 	}
@@ -309,8 +604,10 @@ func (p *Placement) WhitespacePerRow() []float64 {
 	out := make([]float64, p.FP.NumRows())
 	for row := range out {
 		used := 0.0
-		for _, inst := range p.rowOccupants(row) {
-			used += inst.Master.Width
+		if row < len(p.rowOcc) {
+			for _, ord := range p.rowOcc[row] {
+				used += p.insts[ord].Master.Width
+			}
 		}
 		out[row] = p.FP.Rows[row].Width() - used
 	}

@@ -2,6 +2,7 @@ package place
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"thermplace/internal/floorplan"
@@ -25,6 +26,19 @@ import (
 // The result is legalized and filler cells are inserted into the remaining
 // gaps, so the returned placement passes Validate.
 func Place(d *netlist.Design, fp *floorplan.Floorplan) (*Placement, error) {
+	p, err := PlaceWithoutFillers(d, fp)
+	if err != nil {
+		return nil, err
+	}
+	InsertFillers(p)
+	return p, nil
+}
+
+// PlaceWithoutFillers runs the same global placement and legalization as
+// Place but skips the filler-insertion pass. Callers that refine the
+// placement afterwards (flow.PlaceAt with RefinePasses > 0) use it so the
+// whitespace is filled exactly once, on the final cell positions.
+func PlaceWithoutFillers(d *netlist.Design, fp *floorplan.Floorplan) (*Placement, error) {
 	p := NewPlacement(d, fp)
 
 	// Group instances by unit; untagged cells join the largest unit (the
@@ -70,7 +84,6 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan) (*Placement, error) {
 
 	placePorts(p)
 	Legalize(p)
-	InsertFillers(p)
 	return p, nil
 }
 
@@ -89,31 +102,34 @@ func SpreadIntoRegion(p *Placement, cells []*netlist.Instance, region geom.Rect)
 // connectivity graph restricted to the given cell set, starting from the
 // first cell in creation order. Cells unreachable from earlier seeds start
 // new BFS waves, so the result is a locality-preserving linear order.
+// Membership and visit state are tracked in ordinal-indexed bit slices: the
+// traversal touches every pin of every cell, and pointer-keyed maps used to
+// dominate the whole placement profile here.
 func orderByConnectivity(d *netlist.Design, cells []*netlist.Instance) []*netlist.Instance {
-	inSet := make(map[*netlist.Instance]bool, len(cells))
+	inSet := make([]bool, d.NumInstances())
 	for _, c := range cells {
-		inSet[c] = true
+		inSet[c.Ord()] = true
 	}
-	visited := make(map[*netlist.Instance]bool, len(cells))
-	var out []*netlist.Instance
-	var queue []*netlist.Instance
+	visited := make([]bool, d.NumInstances())
+	out := make([]*netlist.Instance, 0, len(cells))
+	queue := make([]*netlist.Instance, 0, len(cells))
 
 	visit := func(inst *netlist.Instance) {
-		if inst == nil || !inSet[inst] || visited[inst] {
+		if inst == nil || inst.Ord() >= len(inSet) || !inSet[inst.Ord()] || visited[inst.Ord()] {
 			return
 		}
-		visited[inst] = true
+		visited[inst.Ord()] = true
 		queue = append(queue, inst)
 	}
 
+	head := 0
 	for _, seed := range cells {
-		if visited[seed] {
+		if visited[seed.Ord()] {
 			continue
 		}
 		visit(seed)
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
+		for ; head < len(queue); head++ {
+			cur := queue[head]
 			out = append(out, cur)
 			// Neighbours: all instances sharing a net with cur, visited in
 			// the master's pin order so the traversal is deterministic.
@@ -321,40 +337,110 @@ func RefineHPWL(p *Placement, passes int) int {
 	return accepted
 }
 
-// netsOf returns the distinct nets touching the instances.
-func netsOf(insts ...*netlist.Instance) []*netlist.Net {
-	seen := make(map[*netlist.Net]bool)
-	var out []*netlist.Net
-	for _, inst := range insts {
-		for _, n := range inst.Conns() {
-			if !seen[n] {
-				seen[n] = true
-				out = append(out, n)
-			}
-		}
-	}
-	return out
-}
-
 // swapDelta returns the change in HPWL caused by swapping adjacent cells a
-// and b (negative is an improvement).
+// and b (negative is an improvement). A swap within a row changes only the
+// two cells' X coordinates, so per net the bounding-box height is unchanged
+// and the HPWL delta reduces to the change of the box width: the "before"
+// width comes from the cached net bounding box and the "after" width from an
+// X-only pin scan with the post-swap coordinates substituted in. No trial
+// move mutates the placement and nothing is allocated per candidate swap.
 func swapDelta(p *Placement, a, b *netlist.Instance) float64 {
-	nets := netsOf(a, b)
-	before := 0.0
-	for _, n := range nets {
-		before += p.HPWL(n)
-	}
 	la, _ := p.Loc(a)
 	lb, _ := p.Loc(b)
-	doSwap(p, a, b)
-	after := 0.0
-	for _, n := range nets {
-		after += p.HPWL(n)
+	if la.Y != lb.Y {
+		// The width-only arithmetic below is exact only when both cells sit
+		// at the same Y, which legalization guarantees. A pair sharing a row
+		// index at different Y (possible only on a pre-legalized placement)
+		// would additionally change net bbox heights when doSwap snaps both
+		// cells to the left cell's Y; rather than mis-evaluate it, never
+		// accept such a swap.
+		return math.Inf(1)
 	}
-	// Restore.
-	p.SetLoc(a, la)
-	p.SetLoc(b, lb)
-	return after - before
+	left := la
+	if lb.X < la.X {
+		left = lb
+	}
+	// After the swap b goes first, then a (mirroring doSwap).
+	newAX := left.X + b.Master.Width
+	newBX := left.X
+	aNets := p.instNets[a.Ord()]
+	delta := 0.0
+	for _, netOrd := range aNets {
+		n := p.nets[netOrd]
+		delta += p.netWidthIfSwapped(n, a, b, newAX, newBX) - p.NetBBox(n).W()
+	}
+	for _, netOrd := range p.instNets[b.Ord()] {
+		shared := false
+		for _, seen := range aNets {
+			if seen == netOrd {
+				shared = true
+				break
+			}
+		}
+		if shared {
+			continue
+		}
+		n := p.nets[netOrd]
+		delta += p.netWidthIfSwapped(n, a, b, newAX, newBX) - p.NetBBox(n).W()
+	}
+	return delta
+}
+
+// netWidthIfSwapped computes the width of the net's pin bounding box as it
+// would be with instances a and b moved to X coordinates ax and bx, scanning
+// pins in the same driver-then-loads order — and with the same
+// CellRect().Center() arithmetic — as computeNetBBox, so the result matches
+// a post-move recomputation bit for bit.
+func (p *Placement) netWidthIfSwapped(n *netlist.Net, a, b *netlist.Instance, ax, bx float64) float64 {
+	var xlo, xhi float64
+	found := false
+	pinX := func(ref netlist.PinRef) (float64, bool) {
+		if ref.IsPort() {
+			pt, ok := p.PortLoc(ref.Port)
+			return pt.X, ok
+		}
+		if ref.Inst == nil {
+			return 0, false
+		}
+		l, ok := p.Loc(ref.Inst)
+		if !ok {
+			return 0, false
+		}
+		x := l.X
+		switch ref.Inst {
+		case a:
+			x = ax
+		case b:
+			x = bx
+		}
+		return (x + (x + ref.Inst.Master.Width)) / 2, true
+	}
+	if x, ok := pinX(n.Driver); ok {
+		xlo, xhi = x, x
+		found = true
+	}
+	for _, ld := range n.Loads {
+		x, ok := pinX(ld)
+		if !ok {
+			continue
+		}
+		if !found {
+			xlo, xhi = x, x
+			found = true
+			continue
+		}
+		if x < xlo {
+			xlo = x
+		}
+		if x > xhi {
+			xhi = x
+		}
+	}
+	if !found || xhi <= xlo {
+		// Mirror geom.Rect.W's degenerate-box clamp.
+		return 0
+	}
+	return xhi - xlo
 }
 
 // doSwap exchanges the positions of two adjacent cells in a row, keeping the
