@@ -52,7 +52,9 @@ func paperBenchmark(b *testing.B) *netlist.Design {
 func paperFlow(b *testing.B, wl bench.Workload) *flow.Flow {
 	b.Helper()
 	cfg := flow.DefaultConfig()
-	return flow.New(paperBenchmark(b), wl, cfg)
+	f := flow.New(paperBenchmark(b), wl, cfg)
+	b.Cleanup(f.Close) // release the pooled solvers' worker goroutines
+	return f
 }
 
 // BenchmarkFig5_Profiles regenerates Figure 5: the power and thermal
@@ -360,6 +362,7 @@ func BenchmarkAblation_GridResolution(b *testing.B) {
 			cfg.Thermal.NX = n
 			cfg.Thermal.NY = n
 			f := flow.New(design, wl, cfg)
+			defer f.Close()
 			var an *flow.Analysis
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -412,9 +415,11 @@ func BenchmarkThermalSolve40x40x9(b *testing.B) {
 }
 
 // BenchmarkThermalSolveGrid sweeps the thermal grid size and compares the
-// legacy SPICE-circuit path against the structured-grid fast path, both
-// cold (fresh solver per solve, the "first sweep point" cost) and reused
-// (warm-started re-solve, the steady-state sweep cost). Each sub-benchmark
+// legacy SPICE-circuit path against the structured-grid fast path — with
+// its default multigrid preconditioner ("fast") and the Jacobi fallback
+// ("fast-jacobi") — both cold (fresh solver per solve, the "first sweep
+// point" cost) and reused (warm-started re-solve, the steady-state sweep
+// cost, multigrid). Each sub-benchmark
 // reports ns/solve and allocs/solve via b.ReportMetric so future PRs have a
 // perf trajectory to track. Run with -benchtime 1x for a quick look: the
 // spice path at 160x160x9 (230k nodes) takes seconds per solve.
@@ -452,11 +457,17 @@ func BenchmarkThermalSolveGrid(b *testing.B) {
 		b.Run(fmt.Sprintf("grid=%dx%dx9/fast", n, n), func(b *testing.B) {
 			solveOnce(b, func() error { _, err := thermal.Solve(pm, cfg); return err })
 		})
+		b.Run(fmt.Sprintf("grid=%dx%dx9/fast-jacobi", n, n), func(b *testing.B) {
+			jcfg := cfg
+			jcfg.Precond = thermal.PrecondJacobi
+			solveOnce(b, func() error { _, err := thermal.Solve(pm, jcfg); return err })
+		})
 		b.Run(fmt.Sprintf("grid=%dx%dx9/fast-reuse", n, n), func(b *testing.B) {
 			s, err := thermal.NewSolver(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer s.Close()
 			if _, err := s.Solve(pm); err != nil { // prime structure + warm start
 				b.Fatal(err)
 			}

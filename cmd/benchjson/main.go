@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// artifact so CI can archive the performance trajectory of every PR
+// (BENCH_*.json). It reads benchmark output on stdin and writes a JSON
+// array of runs, keeping the standard ns/op / B/op / allocs/op columns and
+// every custom b.ReportMetric column (peak_rise_C, eri32_pct, ...).
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem . | benchjson -o BENCH_results.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Run is one benchmark result line.
+type Run struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var runs []Run
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Pass through on stderr so CI logs keep the raw table without
+		// corrupting the JSON when it goes to stdout.
+		fmt.Fprintln(os.Stderr, line)
+		if r, ok := parseLine(line); ok {
+			runs = append(runs, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(runs) == 0 {
+		// An empty artifact means the bench regex matched nothing or the
+		// output format changed; fail loudly instead of archiving `null`.
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines found in input")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark line of the form
+//
+//	BenchmarkName-8   5   209835264 ns/op   12.32 eri16_pct   28516302 B/op
+//
+// (the value always precedes its unit column).
+func parseLine(line string) (Run, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Run{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Run{}, false
+	}
+	r := Run{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Run{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}

@@ -405,3 +405,82 @@ func TestSweepPropagatesPipelineErrors(t *testing.T) {
 		t.Fatal("concentrated experiment on an unsimulatable design must fail")
 	}
 }
+
+// TestConcurrentSweepBitIdenticalToSequential runs the same sweep
+// sequentially (Workers=1) and concurrently (Workers=4) on fresh flows and
+// requires exactly identical output: same point order and bit-identical
+// floats. This is what the baseline-seeded warm starts, the slot-indexed
+// recording and the deterministic power-map accumulation order buy. Run
+// with -race to check the worker group and the flow solver pool.
+func TestConcurrentSweepBitIdenticalToSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double sweep skipped in -short mode")
+	}
+	run := func(workers int) *SweepResult {
+		f := hotFlow(t, "mult8")
+		defer f.Close()
+		res, err := SweepEfficiency(f, SweepOptions{
+			Overheads: []float64{0.10, 0.20, 0.30},
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	con := run(4)
+
+	if seq.Baseline.PeakRise() != con.Baseline.PeakRise() {
+		t.Fatalf("baseline peak rise differs: %g vs %g", seq.Baseline.PeakRise(), con.Baseline.PeakRise())
+	}
+	if len(seq.Points) != len(con.Points) {
+		t.Fatalf("point count differs: %d vs %d", len(seq.Points), len(con.Points))
+	}
+	for i := range seq.Points {
+		s, c := seq.Points[i], con.Points[i]
+		if s.Strategy != c.Strategy || s.Rows != c.Rows {
+			t.Fatalf("point %d identity differs: %s/%d vs %s/%d", i, s.Strategy, s.Rows, c.Strategy, c.Rows)
+		}
+		// Bit-identical, not approximately equal: == on floats is the test.
+		if s.PeakRise != c.PeakRise || s.TempReduction != c.TempReduction ||
+			s.AreaOverhead != c.AreaOverhead || s.Utilization != c.Utilization {
+			t.Fatalf("point %d (%s) differs between sequential and concurrent runs:\n  seq %+v\n  con %+v",
+				i, s.Strategy, s, c)
+		}
+	}
+}
+
+// TestSweepStrategySubsets checks the concurrent engine honors strategy
+// selection, including the HW-without-Default case that still needs the
+// Default placements internally.
+func TestSweepStrategySubsets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	f := hotFlow(t, "mult8")
+	defer f.Close()
+	res, err := SweepEfficiency(f, SweepOptions{
+		Overheads:  []float64{0.15},
+		Strategies: []Strategy{StrategyHW},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.Strategy != StrategyHW {
+			t.Fatalf("unexpected strategy %s in HW-only sweep", p.Strategy)
+		}
+	}
+	res, err = SweepEfficiency(f, SweepOptions{
+		Overheads:  []float64{0.15},
+		Strategies: []Strategy{StrategyERI},
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Strategy != StrategyERI {
+		t.Fatalf("ERI-only sweep returned %+v", res.Points)
+	}
+}

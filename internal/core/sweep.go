@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"thermplace/internal/flow"
 	"thermplace/internal/hotspot"
@@ -54,6 +57,12 @@ type SweepOptions struct {
 	// KeepAnalyses retains the full analysis and placement of every point
 	// (memory heavy for large sweeps).
 	KeepAnalyses bool
+	// Workers bounds how many sweep points are evaluated concurrently.
+	// Zero picks GOMAXPROCS; 1 evaluates the points sequentially in order.
+	// Every point is a pure function of the baseline analysis (thermal
+	// warm starts are seeded from the baseline field, not chained point to
+	// point), so the sweep output is bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultSweepOptions reproduces the x-axis range of the paper's Figure 6:
@@ -114,9 +123,19 @@ func wantStrategy(opts SweepOptions, s Strategy) bool {
 // hotspots) and the HW strategy (wrappers applied on top of the Default
 // placement of the same overhead), and reports the peak-temperature
 // reduction of each point.
+//
+// The points are independent given the baseline, so they are evaluated on a
+// bounded worker group (see SweepOptions.Workers): one task per overhead
+// runs the Default point and then the HW point that depends on it, and one
+// task per row count runs an ERI point. Results are recorded into
+// per-strategy slots and assembled in the sequential order afterwards, so
+// both the values (thermal warm starts are seeded from the baseline field)
+// and the ordering are bit-identical to a Workers=1 run.
 func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 	if len(opts.Overheads) == 0 {
-		opts = DefaultSweepOptions()
+		// Default only the overhead range; the caller's Workers, Strategies
+		// and retention settings stay in force.
+		opts.Overheads = DefaultSweepOptions().Overheads
 	}
 	baseUtil := f.Config.Utilization
 	baseline, err := f.AnalyzeBaseline()
@@ -130,59 +149,128 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 	baseArea := baseline.Placement.FP.CoreArea()
 	result := &SweepResult{Baseline: baseline, BaselineUtilization: baseUtil}
 
-	record := func(pt EfficiencyPoint, an *flow.Analysis, p *place.Placement) {
-		if opts.KeepAnalyses {
-			pt.Analysis = an
-			pt.Placement = p
-		}
-		result.Points = append(result.Points, pt)
+	wantDefault := wantStrategy(opts, StrategyDefault)
+	wantHW := wantStrategy(opts, StrategyHW)
+	wantERI := wantStrategy(opts, StrategyERI)
+
+	detect := opts.WrapperDetection
+	if detect.ThresholdFrac == 0 {
+		detect.ThresholdFrac = 0.75
+	}
+	if detect.MinCells == 0 {
+		detect.MinCells = 2
 	}
 
-	// Default strategy: relax the utilization so the core grows by the
-	// requested overhead.
-	defaultAnalyses := make(map[float64]*flow.Analysis)
-	if wantStrategy(opts, StrategyDefault) || wantStrategy(opts, StrategyHW) {
-		for _, ov := range opts.Overheads {
-			util := baseUtil / (1 + ov)
-			p, err := f.PlaceAt(util)
-			if err != nil {
-				return nil, fmt.Errorf("core: default point %+v: %w", ov, err)
-			}
-			an, err := f.Analyze(p)
-			if err != nil {
-				return nil, fmt.Errorf("core: default point %+v: %w", ov, err)
-			}
-			defaultAnalyses[ov] = an
-			if wantStrategy(opts, StrategyDefault) {
-				record(EfficiencyPoint{
-					Strategy:      StrategyDefault,
-					AreaOverhead:  an.Placement.FP.CoreArea()/baseArea - 1,
-					TempReduction: reduction(baseRise, an.Thermal.PeakRise),
-					PeakRise:      an.Thermal.PeakRise,
-					Utilization:   util,
-				}, an, p)
-			}
-		}
-	}
-
-	// ERI strategy: empty rows inserted at the baseline's hotspots.
-	if wantStrategy(opts, StrategyERI) {
-		rowCounts := opts.ERIRows
+	// Point slots, indexed by position in Overheads / rowCounts. A nil slot
+	// after the run means the point was skipped (HW with no tight hotspots).
+	var defaults, hws, eris []*EfficiencyPoint
+	var rowCounts []int
+	if wantERI {
+		rowCounts = opts.ERIRows
 		if len(rowCounts) == 0 {
 			for _, ov := range opts.Overheads {
 				rowCounts = append(rowCounts, RowsForAreaOverhead(baseline.Placement, ov))
 			}
 		}
-		for _, rows := range rowCounts {
+		eris = make([]*EfficiencyPoint, len(rowCounts))
+	}
+
+	keep := func(pt *EfficiencyPoint, an *flow.Analysis, p *place.Placement) *EfficiencyPoint {
+		if opts.KeepAnalyses {
+			pt.Analysis = an
+			pt.Placement = p
+		}
+		return pt
+	}
+
+	var tasks []func() error
+
+	// One task per overhead: the Default point, then the HW point that
+	// pipelines behind it. Only what the HW pass needs survives the Default
+	// analysis — its hotspot rise map, placement and power report — so the
+	// thermal result and power map of every Default point are released as
+	// soon as the point is recorded (unless KeepAnalyses asks for them).
+	if wantDefault || wantHW {
+		defaults = make([]*EfficiencyPoint, len(opts.Overheads))
+		hws = make([]*EfficiencyPoint, len(opts.Overheads))
+		for i, ov := range opts.Overheads {
+			i, ov := i, ov
+			tasks = append(tasks, func() error {
+				util := baseUtil / (1 + ov)
+				p, err := f.PlaceAt(util)
+				if err != nil {
+					return fmt.Errorf("core: default point %+v: %w", ov, err)
+				}
+				an, err := f.Analyze(p)
+				if err != nil {
+					return fmt.Errorf("core: default point %+v: %w", ov, err)
+				}
+				if wantDefault {
+					defaults[i] = keep(&EfficiencyPoint{
+						Strategy:      StrategyDefault,
+						AreaOverhead:  an.Placement.FP.CoreArea()/baseArea - 1,
+						TempReduction: reduction(baseRise, an.Thermal.PeakRise),
+						PeakRise:      an.Thermal.PeakRise,
+						Utilization:   util,
+					}, an, p)
+				}
+				if !wantHW {
+					return nil
+				}
+				// HW strategy: wrapper insertion on top of this Default
+				// placement. The wrapper targets a tighter hotspot
+				// definition than ERI does: it isolates the cells that are
+				// the source of each hotspot rather than the whole warm
+				// area around them.
+				spots := hotspot.Detect(an.Thermal.RiseMap(), detect)
+				defPl, defPow := an.Placement, an.Power
+				if !opts.KeepAnalyses {
+					an = nil // release the thermal layers and power map early
+				}
+				if len(spots) == 0 {
+					return nil
+				}
+				wopts := opts.Wrapper
+				if wopts.PowerOf == nil {
+					wopts.PowerOf = func(inst *netlist.Instance) float64 { return defPow.InstancePower(inst) }
+				}
+				if wopts.HotCellFactor == 0 {
+					wopts.HotCellFactor = 1.0
+				}
+				hp, err := HotspotWrapper(defPl, spots, wopts)
+				if err != nil {
+					return fmt.Errorf("core: HW at overhead %.2f: %w", ov, err)
+				}
+				han, err := f.Analyze(hp)
+				if err != nil {
+					return fmt.Errorf("core: HW at overhead %.2f: %w", ov, err)
+				}
+				hws[i] = keep(&EfficiencyPoint{
+					Strategy:      StrategyHW,
+					AreaOverhead:  han.Placement.FP.CoreArea()/baseArea - 1,
+					TempReduction: reduction(baseRise, han.Thermal.PeakRise),
+					PeakRise:      han.Thermal.PeakRise,
+					Utilization:   baseUtil / (han.Placement.FP.CoreArea() / baseArea),
+				}, han, hp)
+				return nil
+			})
+		}
+	}
+
+	// One task per ERI point: empty rows inserted at the baseline's
+	// hotspots.
+	for j, rows := range rowCounts {
+		j, rows := j, rows
+		tasks = append(tasks, func() error {
 			p, err := EmptyRowInsertion(baseline.Placement, baseline.Hotspots, DefaultERIOptions(rows))
 			if err != nil {
-				return nil, fmt.Errorf("core: ERI %d rows: %w", rows, err)
+				return fmt.Errorf("core: ERI %d rows: %w", rows, err)
 			}
 			an, err := f.Analyze(p)
 			if err != nil {
-				return nil, fmt.Errorf("core: ERI %d rows: %w", rows, err)
+				return fmt.Errorf("core: ERI %d rows: %w", rows, err)
 			}
-			record(EfficiencyPoint{
+			eris[j] = keep(&EfficiencyPoint{
 				Strategy:      StrategyERI,
 				AreaOverhead:  an.Placement.FP.CoreArea()/baseArea - 1,
 				TempReduction: reduction(baseRise, an.Thermal.PeakRise),
@@ -190,56 +278,84 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 				Rows:          rows,
 				Utilization:   baseUtil / (an.Placement.FP.CoreArea() / baseArea),
 			}, an, p)
-		}
+			return nil
+		})
 	}
 
-	// HW strategy: wrapper insertion on top of each Default placement. The
-	// wrapper targets a tighter hotspot definition than ERI does: it
-	// isolates the cells that are the source of each hotspot rather than
-	// the whole warm area around them.
-	if wantStrategy(opts, StrategyHW) {
-		detect := opts.WrapperDetection
-		if detect.ThresholdFrac == 0 {
-			detect.ThresholdFrac = 0.75
+	if err := runTasks(tasks, opts.Workers); err != nil {
+		return nil, err
+	}
+
+	// Assemble in the sequential order: Default points in overhead order,
+	// then ERI points in row order, then HW points in overhead order.
+	for _, pt := range defaults {
+		if pt != nil {
+			result.Points = append(result.Points, *pt)
 		}
-		if detect.MinCells == 0 {
-			detect.MinCells = 2
+	}
+	for _, pt := range eris {
+		if pt != nil {
+			result.Points = append(result.Points, *pt)
 		}
-		for _, ov := range opts.Overheads {
-			defAn := defaultAnalyses[ov]
-			if defAn == nil {
-				continue
-			}
-			spots := hotspot.Detect(defAn.Thermal.RiseMap(), detect)
-			if len(spots) == 0 {
-				continue
-			}
-			wopts := opts.Wrapper
-			if wopts.PowerOf == nil {
-				rep := defAn.Power
-				wopts.PowerOf = func(inst *netlist.Instance) float64 { return rep.InstancePower(inst) }
-			}
-			if wopts.HotCellFactor == 0 {
-				wopts.HotCellFactor = 1.0
-			}
-			p, err := HotspotWrapper(defAn.Placement, spots, wopts)
-			if err != nil {
-				return nil, fmt.Errorf("core: HW at overhead %.2f: %w", ov, err)
-			}
-			an, err := f.Analyze(p)
-			if err != nil {
-				return nil, fmt.Errorf("core: HW at overhead %.2f: %w", ov, err)
-			}
-			record(EfficiencyPoint{
-				Strategy:      StrategyHW,
-				AreaOverhead:  an.Placement.FP.CoreArea()/baseArea - 1,
-				TempReduction: reduction(baseRise, an.Thermal.PeakRise),
-				PeakRise:      an.Thermal.PeakRise,
-				Utilization:   baseUtil / (an.Placement.FP.CoreArea() / baseArea),
-			}, an, p)
+	}
+	for _, pt := range hws {
+		if pt != nil {
+			result.Points = append(result.Points, *pt)
 		}
 	}
 	return result, nil
+}
+
+// runTasks executes the tasks on a bounded worker group. workers <= 0 picks
+// GOMAXPROCS; workers == 1 runs the tasks inline in order. An error aborts
+// the tasks that have not started yet; the lowest-index error among the
+// tasks that did run is returned (with several concurrent failures, which
+// tasks got to run — and hence which error surfaces — can vary).
+func runTasks(tasks []func() error, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tasks))
+	var failed atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				if failed.Load() {
+					continue
+				}
+				if err := tasks[idx](); err != nil {
+					errs[idx] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ConcentratedRow is one row of the paper's Table I.

@@ -9,6 +9,7 @@ package flow
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"thermplace/internal/bench"
 	"thermplace/internal/floorplan"
@@ -44,8 +45,13 @@ type Config struct {
 }
 
 // DefaultConfig returns the configuration used by the paper-scale
-// experiments: 85% starting utilization, 1 GHz, 40x40x9 thermal grid.
+// experiments: 85% starting utilization, 1 GHz, 40x40x9 thermal grid. The
+// flow only ever reads the surface (power-layer) temperature map, so the
+// thermal solver is asked to skip materializing the other layers; clear
+// Thermal.SurfaceOnly to get all of Analysis.Thermal.Layers back.
 func DefaultConfig() Config {
+	tcfg := thermal.DefaultConfig()
+	tcfg.SurfaceOnly = true
 	return Config{
 		Utilization:    0.85,
 		AspectRatio:    1.0,
@@ -53,7 +59,7 @@ func DefaultConfig() Config {
 		Seed:           1,
 		ClockHz:        1e9,
 		RefinePasses:   1,
-		Thermal:        thermal.DefaultConfig(),
+		Thermal:        tcfg,
 		HotspotOptions: hotspot.DefaultOptions(),
 	}
 }
@@ -72,21 +78,37 @@ func FastConfig() Config {
 // Flow binds a design and a workload to an analysis configuration and caches
 // everything that is reusable across analyses: the workload-dependent (but
 // placement-independent) switching activity, the deterministic baseline
-// placement, and the structured-grid thermal solver. The solver cache is
-// what makes a sweep cheap: every ERI/HW/Default point reuses the assembled
-// thermal system and warm-starts the iteration from the previous point's
-// temperature field. A Flow is not safe for concurrent use.
+// placement, and a pool of structured-grid thermal solvers. The solver pool
+// is what makes a sweep cheap and concurrent: every ERI/HW/Default point
+// reuses an assembled thermal system, and each solve warm-starts from the
+// recorded first-solve temperature field — a fixed seed rather than
+// "whatever the pooled solver computed last". Results are therefore
+// independent of how analyses are scheduled across solvers provided the
+// first fast-path analysis completes before the concurrent calls begin
+// (run AnalyzeBaseline first, as the sweep does); when the very first
+// solves race, whichever finishes first becomes the seed for the rest.
+//
+// Analyze (and everything it calls) is safe for concurrent use once the
+// flow's Config is no longer being mutated; the concurrent sweep in package
+// core relies on this. Mutating Config between calls remains allowed for
+// sequential use.
 type Flow struct {
 	Design   *netlist.Design
 	Workload bench.Workload
 	Config   Config
 
+	// mu guards every cache below.
+	mu          sync.Mutex
 	activity    *logicsim.Activity
 	baseline    *place.Placement
 	baselineKey placementKey
 
-	solver    *thermal.Solver
+	// solvers holds the idle pooled thermal solvers for solverCfg; seed is
+	// the temperature field of the first completed fast-path solve, copied
+	// into every pooled solver before each subsequent solve.
+	solvers   []*thermal.Solver
 	solverCfg thermal.Config
+	seed      []float64
 }
 
 // New creates a flow for the design under the given workload.
@@ -99,6 +121,8 @@ func New(d *netlist.Design, wl bench.Workload, cfg Config) *Flow {
 // "power estimation based on annotated switching activity of randomly
 // generated test vectors".
 func (f *Flow) Activity() (*logicsim.Activity, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.activity != nil {
 		return f.activity, nil
 	}
@@ -145,6 +169,8 @@ func (f *Flow) PlaceAt(utilization float64) (*place.Placement, error) {
 // placement is shared; callers must treat it as read-only (the core
 // transforms clone before modifying).
 func (f *Flow) Baseline() (*place.Placement, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	key := f.placementKey()
 	if f.baseline != nil && f.baselineKey == key {
 		return f.baseline, nil
@@ -169,27 +195,96 @@ func (f *Flow) placementKey() placementKey {
 	return placementKey{util: f.Config.Utilization, aspect: f.Config.AspectRatio, refine: f.Config.RefinePasses}
 }
 
-// thermalSolve routes the analysis through the cached structured-grid
-// solver when the configuration allows it, falling back to thermal.Solve
-// for oracle/non-CG configurations. The cached solver is invalidated when
-// the thermal configuration changes.
+// thermalSolve routes the analysis through a pooled structured-grid solver
+// when the configuration allows it, falling back to thermal.Solve for
+// oracle/non-CG configurations. Each concurrent caller checks out its own
+// solver (growing the pool on demand) and every solve after the first is
+// warm-started from the recorded first-solve temperature field, so the
+// result of a solve depends only on its own inputs — not on which pooled
+// solver ran it or what that solver computed before. The pool is
+// invalidated when the thermal configuration changes.
 func (f *Flow) thermalSolve(pm *geom.Grid, tcfg thermal.Config) (*thermal.Result, error) {
 	if !tcfg.FastPath() {
 		return thermal.Solve(pm, tcfg)
 	}
-	if f.solver == nil || !f.solverCfg.Equal(tcfg) {
-		s, err := thermal.NewSolver(tcfg)
-		if err != nil {
+	s, seed, err := f.acquireSolver(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	if seed != nil {
+		if err := s.SeedState(seed); err != nil {
 			return nil, err
 		}
-		f.solver = s
+	}
+	res, err := s.Solve(pm)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.solverCfg.Equal(tcfg) {
+		// The configuration changed while we were solving; this solver's
+		// pool is gone. Drop the solver rather than re-pooling it.
+		s.Close()
+		return res, err
+	}
+	if err == nil && f.seed == nil {
+		f.seed = s.State()
+	}
+	f.solvers = append(f.solvers, s)
+	return res, err
+}
+
+// acquireSolver checks a solver for tcfg out of the pool, rebuilding the
+// pool when the thermal configuration changed, and returns the warm-start
+// seed to load (nil on the very first solve). Solver construction (stencil,
+// multigrid hierarchy, Cholesky buffer) happens outside the flow mutex so
+// concurrent pool growth does not serialize the other workers.
+func (f *Flow) acquireSolver(tcfg thermal.Config) (*thermal.Solver, []float64, error) {
+	f.mu.Lock()
+	if !f.solverCfg.Equal(tcfg) {
+		for _, s := range f.solvers {
+			s.Close()
+		}
+		f.solvers = nil
+		f.seed = nil
 		f.solverCfg = tcfg
 		// Snapshot the stack: tcfg.Stack aliases the caller's slice, and
 		// Equal must detect in-place layer mutations against the state the
-		// solver was actually built from.
+		// solvers were actually built from.
 		f.solverCfg.Stack = append(thermal.Stack(nil), tcfg.Stack...)
 	}
-	return f.solver.Solve(pm)
+	seed := f.seed
+	if n := len(f.solvers); n > 0 {
+		s := f.solvers[n-1]
+		f.solvers = f.solvers[:n-1]
+		f.mu.Unlock()
+		return s, seed, nil
+	}
+	f.mu.Unlock()
+
+	s, err := thermal.NewSolver(tcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Re-read the seed: another worker may have published it while this
+	// solver was being built.
+	f.mu.Lock()
+	if f.solverCfg.Equal(tcfg) {
+		seed = f.seed
+	}
+	f.mu.Unlock()
+	return s, seed, nil
+}
+
+// Close releases the worker pools of the pooled thermal solvers. The flow
+// remains usable; solvers created afterwards build fresh pools.
+func (f *Flow) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range f.solvers {
+		s.Close()
+	}
+	f.solvers = nil
+	f.seed = nil
+	f.solverCfg = thermal.Config{}
 }
 
 // Analysis is the full measurement of one placement.
@@ -210,6 +305,12 @@ func (a *Analysis) PeakRise() float64 { return a.Thermal.PeakRise }
 
 // Analyze runs power estimation and thermal simulation on the placement and
 // localizes the hotspots of the resulting thermal map.
+//
+// Analyze is safe for concurrent use with one caveat: the power estimate
+// fills the placement's lazy net-bounding-box cache, so a *Placement may
+// only be shared between concurrent Analyze calls if it has already been
+// analyzed once (which warms the cache — the baseline in a sweep is exactly
+// that case). Distinct placements need no coordination.
 func (f *Flow) Analyze(p *place.Placement) (*Analysis, error) {
 	act, err := f.Activity()
 	if err != nil {

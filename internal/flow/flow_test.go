@@ -2,11 +2,13 @@ package flow
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"thermplace/internal/bench"
 	"thermplace/internal/celllib"
 	"thermplace/internal/netlist"
+	"thermplace/internal/place"
 )
 
 // smallFlow builds a flow over the small benchmark with a workload that
@@ -271,4 +273,84 @@ func TestConfigs(t *testing.T) {
 	if fast.Thermal.NX >= def.Thermal.NX || fast.SimCycles >= def.SimCycles {
 		t.Fatal("FastConfig must be cheaper than DefaultConfig")
 	}
+}
+
+// TestConcurrentAnalyzeMatchesSequential drives Analyze from many
+// goroutines at once (the concurrent sweep's usage pattern: baseline first,
+// then independent placements in parallel) and checks every result against
+// a sequential reference flow. Because every thermal solve after the first
+// is warm-started from the recorded baseline field, the results must be
+// bit-identical regardless of scheduling. Run with -race to check the
+// solver pool and cache locking.
+func TestConcurrentAnalyzeMatchesSequential(t *testing.T) {
+	f := smallFlow(t)
+	if _, err := f.AnalyzeBaseline(); err != nil {
+		t.Fatal(err)
+	}
+	utils := []float64{0.80, 0.75, 0.70, 0.65, 0.60, 0.55}
+	placements := make([]*place.Placement, len(utils))
+	for i, u := range utils {
+		p, err := f.PlaceAt(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements[i] = p
+	}
+
+	got := make([]float64, len(placements))
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(placements))
+	for i, p := range placements {
+		wg.Add(1)
+		go func(i int, p *place.Placement) {
+			defer wg.Done()
+			an, err := f.Analyze(p)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			got[i] = an.PeakRise()
+		}(i, p)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Sequential reference on a fresh flow with the same seeding pattern
+	// (baseline first). The placements are reused: their geometry caches
+	// are warm from the concurrent pass, which must not change results.
+	ref := New(f.Design, f.Workload, f.Config)
+	if _, err := ref.AnalyzeBaseline(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range placements {
+		an, err := ref.Analyze(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if an.PeakRise() != got[i] {
+			t.Fatalf("placement %d (util %.2f): concurrent peak rise %g != sequential %g",
+				i, utils[i], got[i], an.PeakRise())
+		}
+	}
+	f.Close()
+	ref.Close()
+
+	// The flow stays usable after Close.
+	if _, err := f.AnalyzeBaseline(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlowCloseIdempotent closes a fresh and a used flow.
+func TestFlowCloseIdempotent(t *testing.T) {
+	f := smallFlow(t)
+	f.Close()
+	if _, err := f.AnalyzeBaseline(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close()
 }

@@ -49,13 +49,22 @@ type Report struct {
 	PerInstance map[*netlist.Instance]Breakdown
 	// ClockHz is the clock frequency the estimate was computed for.
 	ClockHz float64
+	// insts lists the estimated instances in design order. Every
+	// accumulation over the report iterates this slice rather than the
+	// PerInstance map: float addition is order sensitive, and map order
+	// would make totals and power maps differ bit-wise between runs (which
+	// in turn would break the bit-identical concurrent sweep).
+	insts []*netlist.Instance
 }
+
+// Instances returns the estimated instances in deterministic design order.
+func (r *Report) Instances() []*netlist.Instance { return r.insts }
 
 // Total returns the total design power in watts.
 func (r *Report) Total() float64 {
 	t := 0.0
-	for _, b := range r.PerInstance {
-		t += b.Total()
+	for _, inst := range r.insts {
+		t += r.PerInstance[inst].Total()
 	}
 	return t
 }
@@ -63,7 +72,8 @@ func (r *Report) Total() float64 {
 // TotalBreakdown returns the design-level power split by mechanism.
 func (r *Report) TotalBreakdown() Breakdown {
 	var out Breakdown
-	for _, b := range r.PerInstance {
+	for _, inst := range r.insts {
+		b := r.PerInstance[inst]
 		out.Internal += b.Internal
 		out.Load += b.Load
 		out.Clock += b.Clock
@@ -81,18 +91,15 @@ func (r *Report) InstancePower(inst *netlist.Instance) float64 {
 // cells under the empty-string key when any exist.
 func (r *Report) PerUnit() map[string]float64 {
 	out := make(map[string]float64)
-	for inst, b := range r.PerInstance {
-		out[inst.Unit] += b.Total()
+	for _, inst := range r.insts {
+		out[inst.Unit] += r.PerInstance[inst].Total()
 	}
 	return out
 }
 
 // TopConsumers returns the n highest-power instances in descending order.
 func (r *Report) TopConsumers(n int) []*netlist.Instance {
-	insts := make([]*netlist.Instance, 0, len(r.PerInstance))
-	for inst := range r.PerInstance {
-		insts = append(insts, inst)
-	}
+	insts := append([]*netlist.Instance(nil), r.insts...)
 	sort.Slice(insts, func(i, j int) bool {
 		pi, pj := r.InstancePower(insts[i]), r.InstancePower(insts[j])
 		if pi != pj {
@@ -150,6 +157,7 @@ func Estimate(d *netlist.Design, p *place.Placement, act *logicsim.Activity, clo
 			b.Clock = 0.5 * ckCap * femto * vdd2 * 2 * clockHz
 		}
 		rep.PerInstance[inst] = b
+		rep.insts = append(rep.insts, inst)
 	}
 	return rep
 }
@@ -160,12 +168,15 @@ func Estimate(d *netlist.Design, p *place.Placement, act *logicsim.Activity, clo
 // of the paper's Figure 5 (left).
 func Map(rep *Report, p *place.Placement, nx, ny int) *geom.Grid {
 	g := geom.NewGrid(nx, ny, p.FP.Core)
-	for inst, b := range rep.PerInstance {
+	// Iterate in design order, not map order: the spread accumulates into
+	// shared grid cells, and float addition order must be reproducible for
+	// the sweep results to be bit-identical across runs.
+	for _, inst := range rep.insts {
 		r, ok := p.CellRect(inst)
 		if !ok {
 			continue
 		}
-		g.SpreadRect(r, b.Total())
+		g.SpreadRect(r, rep.PerInstance[inst].Total())
 	}
 	return g
 }

@@ -1,15 +1,16 @@
 // Package sparse provides the numerical kernel of the structured-grid
 // thermal fast path: a symmetric sparse matrix in compressed-sparse-row
-// form and a Jacobi-preconditioned conjugate-gradient solver whose
-// matrix-vector products and reductions run on a small goroutine pool.
+// form, a preconditioned conjugate-gradient solver whose matrix-vector
+// products and reductions run on a persistent goroutine pool, and a
+// geometric multigrid preconditioner (MG) specialized to the 7-point
+// stencil of a structured nx-by-ny-by-nl grid.
 //
 // Unlike package spice, which assembles nodal equations from a netlist of
 // named elements, this package works on plain integer-indexed vectors: the
 // caller (package thermal) maps grid cells to contiguous indices once and
-// never touches strings or maps on the solve path. All numeric buffers are
-// reusable across solves: a serial re-solve with a new right-hand side
-// allocates nothing, and a parallel one allocates only the per-solve worker
-// handoff (a few channels), which is noise next to the iteration cost.
+// never touches strings or maps on the solve path. All numeric buffers and
+// the worker pool are reusable across solves, so a re-solve with a new
+// right-hand side allocates nothing and spawns no goroutines.
 package sparse
 
 // SymCSR is a symmetric positive-definite matrix stored as a diagonal
@@ -41,6 +42,53 @@ func NewSymCSR(n, nnzOff int) *SymCSR {
 		Val:    make([]float64, nnzOff),
 		Diag:   make([]float64, n),
 	}
+}
+
+// NewStencil7 builds the sparsity pattern of the 7-point stencil on an
+// nx-by-ny-by-nl structured grid, where node (l, ix, iy) has index
+// (l*ny+iy)*nx + ix. The off-diagonal columns of every row are emitted in
+// ascending order — z-1, y-1, x-1, x+1, y+1, z+1 — which callers filling
+// values rely on. Values start zeroed.
+func NewStencil7(nx, ny, nl int) *SymCSR {
+	nxy := nx * ny
+	lateral := 2 * ((nx-1)*ny + nx*(ny-1)) * nl
+	vertical := 2 * nxy * (nl - 1)
+	m := NewSymCSR(nxy*nl, lateral+vertical)
+	k := int32(0)
+	for l := 0; l < nl; l++ {
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				i := (l*ny+iy)*nx + ix
+				m.RowPtr[i] = k
+				if l > 0 {
+					m.Col[k] = int32(i - nxy)
+					k++
+				}
+				if iy > 0 {
+					m.Col[k] = int32(i - nx)
+					k++
+				}
+				if ix > 0 {
+					m.Col[k] = int32(i - 1)
+					k++
+				}
+				if ix+1 < nx {
+					m.Col[k] = int32(i + 1)
+					k++
+				}
+				if iy+1 < ny {
+					m.Col[k] = int32(i + nx)
+					k++
+				}
+				if l+1 < nl {
+					m.Col[k] = int32(i + nxy)
+					k++
+				}
+			}
+		}
+	}
+	m.RowPtr[m.N] = k
+	return m
 }
 
 // MatVec computes y = A*x.

@@ -1,0 +1,351 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// MGOptions tunes the geometric multigrid preconditioner.
+type MGOptions struct {
+	// PreSmooth and PostSmooth are the number of Gauss-Seidel sweeps before
+	// and after the coarse-grid correction. Zero means 1. The cycle is only
+	// a symmetric operator (a CG requirement) when the two are equal, so
+	// NewMG rejects unequal non-zero values.
+	PreSmooth, PostSmooth int
+	// CoarsestN stops the coarsening once a level has at most this many
+	// unknowns; that level is solved directly by dense Cholesky. Zero means
+	// 128: the factorization is O(n³) and runs on every Refresh, and the
+	// W-cycle hits the coarsest level 2^(levels-1) times per application,
+	// so a small direct level beats a shallow hierarchy on both counts.
+	CoarsestN int
+	// VCycle selects the plain V-cycle (one coarse-grid correction per
+	// level). The default is the W-cycle — two corrections per level —
+	// whose iteration counts stay flat as the grid grows; with 4x
+	// coarsening per level it costs only ~2x the fine-grid work of a
+	// V-cycle.
+	VCycle bool
+}
+
+// MG is a geometric multigrid V-cycle specialized to the 7-point stencil of
+// an nx-by-ny-by-nl structured grid (node (l, ix, iy) at (l*ny+iy)*nx + ix,
+// the layout of NewStencil7 and of the thermal solver). It implements
+// Preconditioner, so it plugs into CG via CGOptions.Precond.
+//
+// The hierarchy coarsens 2x in x and y while keeping all nl layers — the
+// thermal stack has only a handful of layers and carries the strong
+// boundary coupling, so flattening it buys nothing. Each coarse operator is
+// the Galerkin product PᵀAP with piecewise-constant interpolation over the
+// 2x2 cell aggregates, which keeps every level a 7-point stencil on the
+// same SymCSR layout (each fine off-diagonal either crosses to exactly one
+// neighbouring aggregate or collapses onto the coarse diagonal). Smoothing
+// is red-black Gauss-Seidel — the 7-point stencil is bipartite under
+// (ix+iy+l) parity — applied red-then-black before the correction and
+// black-then-red after, which makes the V-cycle a fixed symmetric
+// positive-definite operator as CG requires. The coarsest level is solved
+// exactly by dense Cholesky.
+//
+// The fine matrix is referenced, not copied: after changing its values
+// (e.g. a die-geometry refresh), call Refresh to rebuild the coarse
+// operators and the coarsest factorization. The sparsity-dependent setup
+// (aggregates, Galerkin scatter targets, red-black ordering) is computed
+// once in NewMG; Refresh is a single O(nnz) accumulation pass per level.
+// An MG value is not safe for concurrent use.
+type MG struct {
+	levels []*mgLevel
+	opt    MGOptions
+}
+
+type mgLevel struct {
+	nx, ny, nl int
+	m          *SymCSR
+
+	// red and black split the rows by (ix+iy+l) parity for the smoother.
+	red, black []int32
+
+	// b, x and r are the per-level right-hand side, iterate and residual;
+	// r2 and x2 carry the second correction of a W-cycle. Each is only
+	// allocated on the levels that use it (level 0 works on the caller's
+	// vectors, the coarsest level never computes a residual, and only
+	// intermediate levels take a W-cycle second correction).
+	b, x, r, r2, x2 []float64
+
+	// parent maps each node to its aggregate on the next-coarser level;
+	// offTarget maps each off-diagonal entry to the coarse Val index it
+	// accumulates into, or to ^diagIndex when the entry is internal to an
+	// aggregate and collapses onto the coarse diagonal. Both are nil on the
+	// coarsest level.
+	parent    []int32
+	offTarget []int32
+
+	// chol is the dense lower-triangular Cholesky factor of the coarsest
+	// level (row-major n*n), nil elsewhere.
+	chol []float64
+}
+
+// NewMG builds the multigrid hierarchy for m, which must be the 7-point
+// stencil of an nx-by-ny-by-nl grid in NewStencil7 layout. Matrix values
+// may still be zero at this point; call Refresh once they are filled (and
+// again after every in-place value change).
+func NewMG(m *SymCSR, nx, ny, nl int, opt MGOptions) (*MG, error) {
+	if nx < 1 || ny < 1 || nl < 1 || nx*ny*nl != m.N {
+		return nil, fmt.Errorf("sparse: MG grid %dx%dx%d does not match matrix size %d", nx, ny, nl, m.N)
+	}
+	if opt.PreSmooth <= 0 {
+		opt.PreSmooth = 1
+	}
+	// A cycle with unequal pre/post smoothing is not a symmetric operator;
+	// CG would silently diverge. Reject the misconfiguration instead of
+	// ignoring the field.
+	if opt.PostSmooth > 0 && opt.PostSmooth != opt.PreSmooth {
+		return nil, fmt.Errorf("sparse: MG needs PostSmooth == PreSmooth for a symmetric cycle (got %d/%d)", opt.PreSmooth, opt.PostSmooth)
+	}
+	opt.PostSmooth = opt.PreSmooth
+	if opt.CoarsestN <= 0 {
+		opt.CoarsestN = 128
+	}
+
+	g := &MG{opt: opt}
+	lv := newMGLevel(m, nx, ny, nl)
+	g.levels = append(g.levels, lv)
+	for lv.m.N > opt.CoarsestN {
+		nxc, nyc := (lv.nx+1)/2, (lv.ny+1)/2
+		if nxc*nyc*lv.nl >= lv.m.N {
+			break // cannot coarsen further (nx = ny = 1)
+		}
+		coarse := newMGLevel(NewStencil7(nxc, nyc, lv.nl), nxc, nyc, lv.nl)
+		lv.buildCoarsening(coarse)
+		g.levels = append(g.levels, coarse)
+		lv = coarse
+	}
+	last := len(g.levels) - 1
+	g.levels[last].chol = make([]float64, g.levels[last].m.N*g.levels[last].m.N)
+	for i, lv := range g.levels {
+		n := lv.m.N
+		if i > 0 {
+			// Restriction target and coarse iterate, written by the parent
+			// level; level 0 works on the caller's r/z directly.
+			lv.b = make([]float64, n)
+			lv.x = make([]float64, n)
+		}
+		if i < last {
+			lv.r = make([]float64, n) // residual before restriction
+		}
+		if i > 0 && i < last {
+			// Second W-cycle correction; the coarsest solve is exact, so
+			// it never takes one.
+			lv.r2 = make([]float64, n)
+			lv.x2 = make([]float64, n)
+		}
+	}
+	return g, nil
+}
+
+func newMGLevel(m *SymCSR, nx, ny, nl int) *mgLevel {
+	lv := &mgLevel{nx: nx, ny: ny, nl: nl, m: m}
+	for l := 0; l < nl; l++ {
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				i := int32((l*ny+iy)*nx + ix)
+				if (ix+iy+l)%2 == 0 {
+					lv.red = append(lv.red, i)
+				} else {
+					lv.black = append(lv.black, i)
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// buildCoarsening computes the aggregate map onto coarse and the Galerkin
+// scatter target of every fine off-diagonal entry.
+func (lv *mgLevel) buildCoarsening(coarse *mgLevel) {
+	lv.parent = make([]int32, lv.m.N)
+	for l := 0; l < lv.nl; l++ {
+		for iy := 0; iy < lv.ny; iy++ {
+			for ix := 0; ix < lv.nx; ix++ {
+				i := (l*lv.ny+iy)*lv.nx + ix
+				lv.parent[i] = int32((l*coarse.ny+iy/2)*coarse.nx + ix/2)
+			}
+		}
+	}
+	cm := coarse.m
+	lv.offTarget = make([]int32, len(lv.m.Col))
+	for i := 0; i < lv.m.N; i++ {
+		pi := lv.parent[i]
+		for k := lv.m.RowPtr[i]; k < lv.m.RowPtr[i+1]; k++ {
+			pj := lv.parent[lv.m.Col[k]]
+			if pi == pj {
+				lv.offTarget[k] = ^pi
+				continue
+			}
+			t := int32(-1)
+			for ck := cm.RowPtr[pi]; ck < cm.RowPtr[pi+1]; ck++ {
+				if cm.Col[ck] == pj {
+					t = ck
+					break
+				}
+			}
+			if t < 0 {
+				// The aggregates preserve grid adjacency, so every crossing
+				// link lands on a 7-point coarse neighbour by construction.
+				panic(fmt.Sprintf("sparse: MG coarse entry (%d,%d) missing", pi, pj))
+			}
+			lv.offTarget[k] = t
+		}
+	}
+}
+
+// Refresh rebuilds the coarse-level operators from the current fine-matrix
+// values (Galerkin products level by level) and refactorizes the coarsest
+// level. Call it after every in-place change to the fine matrix values.
+func (g *MG) Refresh() error {
+	for l := 0; l+1 < len(g.levels); l++ {
+		fine, coarse := g.levels[l], g.levels[l+1]
+		cd, cv := coarse.m.Diag, coarse.m.Val
+		for i := range cd {
+			cd[i] = 0
+		}
+		for i := range cv {
+			cv[i] = 0
+		}
+		for i, p := range fine.parent {
+			cd[p] += fine.m.Diag[i]
+		}
+		for k, t := range fine.offTarget {
+			if t >= 0 {
+				cv[t] += fine.m.Val[k]
+			} else {
+				cd[^t] += fine.m.Val[k]
+			}
+		}
+	}
+	return g.levels[len(g.levels)-1].factorize()
+}
+
+// factorize computes the dense Cholesky factor of the coarsest operator.
+func (lv *mgLevel) factorize() error {
+	n := lv.m.N
+	a := lv.chol
+	for i := range a {
+		a[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		a[i*n+i] = lv.m.Diag[i]
+		for k := lv.m.RowPtr[i]; k < lv.m.RowPtr[i+1]; k++ {
+			a[i*n+int(lv.m.Col[k])] = lv.m.Val[k]
+		}
+	}
+	// In-place lower Cholesky.
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*n+k] * a[j*n+k]
+		}
+		if d <= 0 {
+			return fmt.Errorf("sparse: MG coarsest level not positive definite (pivot %d: %g)", j, d)
+		}
+		d = math.Sqrt(d)
+		a[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*n+k] * a[j*n+k]
+			}
+			a[i*n+j] = s / d
+		}
+	}
+	return nil
+}
+
+// solveDirect solves the coarsest system by forward/back substitution.
+func (lv *mgLevel) solveDirect(b, x []float64) {
+	n := lv.m.N
+	a := lv.chol
+	// L y = b
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i*n+k] * x[k]
+		}
+		x[i] = s / a[i*n+i]
+	}
+	// Lᵀ x = y
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[k*n+i] * x[k]
+		}
+		x[i] = s / a[i*n+i]
+	}
+}
+
+// Apply runs one V-cycle on r: z = B·r with B the fixed SPD multigrid
+// operator. r is left untouched.
+func (g *MG) Apply(r, z []float64) {
+	g.cycle(0, r, z)
+}
+
+// Levels returns the depth of the hierarchy (1 = direct solve only).
+func (g *MG) Levels() int { return len(g.levels) }
+
+// cycle runs the V-cycle at one level: x = (approximate A⁻¹)·b with a zero
+// initial iterate.
+func (g *MG) cycle(l int, b, x []float64) {
+	lv := g.levels[l]
+	if lv.chol != nil {
+		lv.solveDirect(b, x)
+		return
+	}
+	// The cycle starts from a zero iterate, so the first red half-sweep
+	// collapses to x = b/diag; it writes every red row and the black
+	// half-sweep only reads red neighbours (the stencil is bipartite), so
+	// no explicit zeroing of x is needed.
+	for _, i := range lv.red {
+		x[i] = b[i] / lv.m.Diag[i]
+	}
+	lv.gsPass(b, x, lv.black)
+	for s := 1; s < g.opt.PreSmooth; s++ {
+		lv.gsPass(b, x, lv.red)
+		lv.gsPass(b, x, lv.black)
+	}
+	lv.m.residualRange(b, x, lv.r, 0, lv.m.N)
+	next := g.levels[l+1]
+	for i := range next.b {
+		next.b[i] = 0
+	}
+	for i, p := range lv.parent {
+		next.b[p] += lv.r[i]
+	}
+	g.cycle(l+1, next.b, next.x)
+	if !g.opt.VCycle && next.chol == nil {
+		// W-cycle: a second correction against the coarse residual. The
+		// compound step v + M(b - Av) is still a fixed symmetric
+		// positive-definite operator (error propagation (I-MA)²), so CG
+		// stays valid.
+		next.m.residualRange(next.b, next.x, next.r2, 0, next.m.N)
+		g.cycle(l+1, next.r2, next.x2)
+		for i, v := range next.x2 {
+			next.x[i] += v
+		}
+	}
+	for i, p := range lv.parent {
+		x[i] += next.x[p]
+	}
+	for s := 0; s < g.opt.PostSmooth; s++ {
+		lv.gsPass(b, x, lv.black)
+		lv.gsPass(b, x, lv.red)
+	}
+}
+
+// gsPass runs one Gauss-Seidel half-sweep over the given color class.
+func (lv *mgLevel) gsPass(b, x []float64, rows []int32) {
+	m := lv.m
+	for _, i := range rows {
+		s := b[i]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s -= m.Val[k] * x[m.Col[k]]
+		}
+		x[i] = s / m.Diag[i]
+	}
+}

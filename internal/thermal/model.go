@@ -7,6 +7,20 @@ import (
 	"thermplace/internal/spice"
 )
 
+// PrecondKind selects the preconditioner of the structured-grid CG solver.
+type PrecondKind int
+
+const (
+	// PrecondAuto picks the default: the geometric multigrid W-cycle, whose
+	// iteration count is essentially independent of the grid resolution.
+	PrecondAuto PrecondKind = iota
+	// PrecondMG forces the multigrid preconditioner.
+	PrecondMG
+	// PrecondJacobi falls back to the diagonal preconditioner (the pre-MG
+	// behaviour); its iteration count grows with the grid resolution.
+	PrecondJacobi
+)
+
 // Config describes one thermal analysis setup.
 type Config struct {
 	// NX and NY are the lateral grid resolution. The paper uses 40 x 40,
@@ -25,6 +39,15 @@ type Config struct {
 	// Tolerance is the iterative-solver relative residual target
 	// (0 = solver default).
 	Tolerance float64
+	// Precond selects the fast-path CG preconditioner; the zero value picks
+	// multigrid. It has no effect on the SPICE path.
+	Precond PrecondKind
+	// SurfaceOnly skips materializing the temperature maps of the
+	// non-power layers: Result.Layers keeps only the power-injection layer
+	// (the entry Surface aliases) and leaves the rest nil. The sweep flow
+	// only ever reads Surface, so it sets this to avoid copying NL-1 grids
+	// per solve.
+	SurfaceOnly bool
 	// UseSpice forces the legacy path that builds a string-named SPICE
 	// circuit and solves it with package spice. It exists as a
 	// cross-validation oracle for the structured-grid fast path (the
@@ -46,6 +69,7 @@ func (cfg Config) Equal(o Config) bool {
 		cfg.AmbientC != o.AmbientC ||
 		cfg.HBottom != o.HBottom || cfg.HTop != o.HTop || cfg.HSide != o.HSide ||
 		cfg.Solver != o.Solver || cfg.Tolerance != o.Tolerance ||
+		cfg.Precond != o.Precond || cfg.SurfaceOnly != o.SurfaceOnly ||
 		cfg.UseSpice != o.UseSpice ||
 		len(cfg.Stack) != len(o.Stack) {
 		return false
@@ -80,7 +104,9 @@ type Result struct {
 	// Surface is the temperature map (degrees C) of the power-injection
 	// layer on the NX x NY grid: the paper's "thermal profile".
 	Surface *geom.Grid
-	// Layers holds the temperature map of every layer, bottom to top.
+	// Layers holds the temperature map of every layer, bottom to top. With
+	// Config.SurfaceOnly only the power-injection layer is materialized;
+	// the other entries are nil.
 	Layers []*geom.Grid
 	// AmbientC echoes the ambient temperature of the analysis.
 	AmbientC float64
@@ -245,6 +271,9 @@ func Solve(powerMap *geom.Grid, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The solver is one-shot here: release its worker pool rather than
+		// leaving parked goroutines behind.
+		defer s.Close()
 		return s.Solve(powerMap) // reports power-map resolution mismatches
 	}
 	return solveSpice(powerMap, cfg)
@@ -266,16 +295,21 @@ func solveSpice(powerMap *geom.Grid, cfg Config) (*Result, error) {
 		Iterations:     sol.Iterations,
 		SolverResidual: sol.Residual,
 	}
+	powerLayer := cfg.Stack.PowerLayer()
+	res.Layers = make([]*geom.Grid, len(cfg.Stack))
 	for l := range cfg.Stack {
+		if cfg.SurfaceOnly && l != powerLayer {
+			continue
+		}
 		g := geom.NewGrid(cfg.NX, cfg.NY, powerMap.Region)
 		for iy := 0; iy < cfg.NY; iy++ {
 			for ix := 0; ix < cfg.NX; ix++ {
 				g.Set(ix, iy, sol.Voltages[nodeName(l, ix, iy)])
 			}
 		}
-		res.Layers = append(res.Layers, g)
+		res.Layers[l] = g
 	}
-	res.Surface = res.Layers[cfg.Stack.PowerLayer()]
+	res.Surface = res.Layers[powerLayer]
 	res.PeakC, _, _ = res.Surface.Max()
 	res.PeakRise = res.PeakC - cfg.AmbientC
 	res.GradientC = res.Surface.Gradient()

@@ -37,6 +37,9 @@ type Solver struct {
 
 	mat *sparse.SymCSR
 	cg  *sparse.CG
+	// mg is the multigrid preconditioner (nil with PrecondJacobi); its
+	// coarse operators are rebuilt by fillValues.
+	mg *sparse.MG
 	// ambRHS is the constant ambient part of the right-hand side
 	// (conductance to ambient times ambient temperature, per node).
 	ambRHS []float64
@@ -47,9 +50,10 @@ type Solver struct {
 	warm bool
 }
 
-// NewSolver validates the configuration and builds the sparsity pattern.
-// Matrix values are filled on the first Solve, when the die region (and so
-// the cell size) is known.
+// NewSolver validates the configuration and builds the sparsity pattern and
+// the multigrid hierarchy (unless PrecondJacobi is selected). Matrix values
+// are filled on the first Solve, when the die region (and so the cell size)
+// is known.
 func NewSolver(cfg Config) (*Solver, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -65,77 +69,35 @@ func NewSolver(cfg Config) (*Solver, error) {
 		n:          cfg.NX * cfg.NY * len(cfg.Stack),
 		powerLayer: cfg.Stack.PowerLayer(),
 	}
-	s.mat = sparse.NewSymCSR(s.n, s.countOffDiagonals())
-	s.fillPattern()
+	s.mat = sparse.NewStencil7(s.nx, s.ny, s.nl)
 	s.ambRHS = make([]float64, s.n)
 	s.rhs = make([]float64, s.n)
 	s.x = make([]float64, s.n)
-	s.cg = sparse.NewCG(s.mat, sparse.CGOptions{
+	opts := sparse.CGOptions{
 		Tolerance:     cfg.Tolerance,
 		MaxIterations: 10 * s.n,
-	})
+	}
+	if cfg.Precond != PrecondJacobi {
+		mg, err := sparse.NewMG(s.mat, s.nx, s.ny, s.nl, sparse.MGOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("thermal: building multigrid hierarchy: %w", err)
+		}
+		s.mg = mg
+		opts.Precond = mg
+	}
+	s.cg = sparse.NewCG(s.mat, opts)
 	return s, nil
 }
 
 // index returns the unknown index of thermal cell (ix, iy) in layer l.
 func (s *Solver) index(l, ix, iy int) int { return (l*s.ny+iy)*s.nx + ix }
 
-// countOffDiagonals returns the number of off-diagonal matrix entries: one
-// per direction in which a node has a neighbour.
-func (s *Solver) countOffDiagonals() int {
-	nxy := s.nx * s.ny
-	// Lateral links: (nx-1)*ny + nx*(ny-1) per layer, two entries each.
-	lateral := 2 * ((s.nx-1)*s.ny + s.nx*(s.ny-1)) * s.nl
-	// Vertical links: nxy per layer interface, two entries each.
-	vertical := 2 * nxy * (s.nl - 1)
-	return lateral + vertical
-}
-
-// fillPattern writes RowPtr and Col for the 7-point structured stencil.
-// Columns are emitted in ascending order: z-1, y-1, x-1, x+1, y+1, z+1.
-func (s *Solver) fillPattern() {
-	nxy := s.nx * s.ny
-	k := int32(0)
-	for l := 0; l < s.nl; l++ {
-		for iy := 0; iy < s.ny; iy++ {
-			for ix := 0; ix < s.nx; ix++ {
-				i := s.index(l, ix, iy)
-				s.mat.RowPtr[i] = k
-				if l > 0 {
-					s.mat.Col[k] = int32(i - nxy)
-					k++
-				}
-				if iy > 0 {
-					s.mat.Col[k] = int32(i - s.nx)
-					k++
-				}
-				if ix > 0 {
-					s.mat.Col[k] = int32(i - 1)
-					k++
-				}
-				if ix+1 < s.nx {
-					s.mat.Col[k] = int32(i + 1)
-					k++
-				}
-				if iy+1 < s.ny {
-					s.mat.Col[k] = int32(i + s.nx)
-					k++
-				}
-				if l+1 < s.nl {
-					s.mat.Col[k] = int32(i + nxy)
-					k++
-				}
-			}
-		}
-	}
-	s.mat.RowPtr[s.n] = k
-}
-
 // fillValues assembles the conductances for the given cell size, writing
-// matrix values and the ambient right-hand-side contribution in place. The
-// element formulas are exactly those of BuildNetwork, so the fast path and
-// the SPICE oracle solve the same linear system.
-func (s *Solver) fillValues(cellW, cellH float64) {
+// matrix values and the ambient right-hand-side contribution in place, and
+// rebuilds the multigrid coarse operators from the new values. The element
+// formulas are exactly those of BuildNetwork, so the fast path and the
+// SPICE oracle solve the same linear system.
+func (s *Solver) fillValues(cellW, cellH float64) error {
 	s.cellW, s.cellH = cellW, cellH
 	dx := cellW * metersPerUm
 	dy := cellH * metersPerUm
@@ -237,6 +199,16 @@ func (s *Solver) fillValues(cellW, cellH float64) {
 			}
 		}
 	}
+	if s.mg != nil {
+		if err := s.mg.Refresh(); err != nil {
+			// Do not leave the solver marked as assembled for this
+			// geometry: a retry must re-run the full assembly + refresh
+			// instead of solving with a half-rebuilt preconditioner.
+			s.cellW, s.cellH = 0, 0
+			return fmt.Errorf("thermal: refreshing multigrid operators: %w", err)
+		}
+	}
+	return nil
 }
 
 // Solve runs one steady-state analysis for the power map, reusing the
@@ -250,7 +222,9 @@ func (s *Solver) Solve(powerMap *geom.Grid) (*Result, error) {
 	}
 	cellW, cellH := powerMap.CellW(), powerMap.CellH()
 	if cellW != s.cellW || cellH != s.cellH {
-		s.fillValues(cellW, cellH)
+		if err := s.fillValues(cellW, cellH); err != nil {
+			return nil, err
+		}
 	}
 
 	copy(s.rhs, s.ambRHS)
@@ -284,6 +258,9 @@ func (s *Solver) Solve(powerMap *geom.Grid) (*Result, error) {
 		Layers:         make([]*geom.Grid, s.nl),
 	}
 	for l := 0; l < s.nl; l++ {
+		if s.cfg.SurfaceOnly && l != s.powerLayer {
+			continue
+		}
 		g := geom.NewGrid(s.nx, s.ny, powerMap.Region)
 		copy(g.Values(), s.x[l*nxy:(l+1)*nxy])
 		res.Layers[l] = g
@@ -295,8 +272,43 @@ func (s *Solver) Solve(powerMap *geom.Grid) (*Result, error) {
 	return res, nil
 }
 
+// State returns a copy of the temperature field of the last solve (the CG
+// warm-start guess), or nil if the solver has not solved yet.
+func (s *Solver) State() []float64 {
+	if !s.warm {
+		return nil
+	}
+	return append([]float64(nil), s.x...)
+}
+
+// SeedState overwrites the warm-start field with the given temperature
+// field (length NX*NY*NL, solver node order). Seeding every solve from the
+// same recorded field — rather than from whatever the solver happened to
+// compute last — makes each solve a pure function of its inputs, which is
+// what lets the concurrent sweep produce bit-identical results regardless
+// of how points are scheduled across pooled solvers.
+func (s *Solver) SeedState(field []float64) error {
+	if len(field) != s.n {
+		return fmt.Errorf("thermal: seed field length %d does not match %d unknowns", len(field), s.n)
+	}
+	copy(s.x, field)
+	s.warm = true
+	return nil
+}
+
 // Unknowns returns the size of the assembled linear system.
 func (s *Solver) Unknowns() int { return s.n }
 
 // Workers returns the CG solver's degree of parallelism.
 func (s *Solver) Workers() int { return s.cg.Workers() }
+
+// MGLevels returns the depth of the multigrid hierarchy (0 with Jacobi).
+func (s *Solver) MGLevels() int {
+	if s.mg == nil {
+		return 0
+	}
+	return s.mg.Levels()
+}
+
+// Close releases the CG worker pool. The solver remains usable, serially.
+func (s *Solver) Close() { s.cg.Close() }
