@@ -476,6 +476,159 @@ func BenchmarkThermalSolveGrid(b *testing.B) {
 	}
 }
 
+// --- Scenario-family benchmarks --------------------------------------------
+
+// Generated scenarios are expensive at 25k/50k cells, so each (family, size)
+// is built once and shared read-only by the scenario benchmarks.
+var (
+	scenarioMu    sync.Mutex
+	scenarioCache = map[string]*bench.Generated{}
+)
+
+func scenarioBenchmark(b *testing.B, fam bench.Family, cells int) *bench.Generated {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d", fam, cells)
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if g, ok := scenarioCache[key]; ok {
+		return g
+	}
+	g, err := bench.Scenario{Family: fam, Seed: 1, TargetCells: cells}.Generate(celllib.Default65nm())
+	if err != nil {
+		b.Fatalf("generating %s at %d cells: %v", fam, cells, err)
+	}
+	scenarioCache[key] = g
+	return g
+}
+
+func scenarioFlow(b *testing.B, g *bench.Generated, gridN int) *flow.Flow {
+	b.Helper()
+	cfg := flow.ScenarioConfig(g.Scenario)
+	if gridN > 0 {
+		cfg.Thermal.NX, cfg.Thermal.NY = gridN, gridN
+	}
+	f := flow.New(g.Design, g.Workload, cfg)
+	b.Cleanup(f.Close)
+	return f
+}
+
+// BenchmarkScenarioGeneration measures building 25k- and 50k-cell netlists,
+// the generator-scaling lever called out on the roadmap.
+func BenchmarkScenarioGeneration(b *testing.B) {
+	lib := celllib.Default65nm()
+	for _, cells := range []int{25000, 50000} {
+		b.Run(fmt.Sprintf("cells=%d", cells), func(b *testing.B) {
+			sc := bench.Scenario{Family: bench.FamilyPaperSynth9, Seed: 1, TargetCells: cells}
+			var n int
+			for i := 0; i < b.N; i++ {
+				g, err := sc.Generate(lib)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = g.Design.NumInstances()
+			}
+			b.ReportMetric(float64(n), "cells")
+		})
+	}
+}
+
+// BenchmarkScenarioPlacement measures placing 25k- and 50k-cell scenario
+// designs (the paper benchmark stops at 12k).
+func BenchmarkScenarioPlacement(b *testing.B) {
+	for _, cells := range []int{25000, 50000} {
+		b.Run(fmt.Sprintf("cells=%d", cells), func(b *testing.B) {
+			g := scenarioBenchmark(b, bench.FamilyPaperSynth9, cells)
+			f := scenarioFlow(b, g, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.PlaceAt(g.Scenario.Utilization); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioFullFlow runs the whole pipeline — place, simulate,
+// power, thermal, hotspots — on large scenarios with the 80x80 and 160x160
+// thermal grids, the resolutions the solver benchmarks exercise only in
+// isolation.
+func BenchmarkScenarioFullFlow(b *testing.B) {
+	cases := []struct {
+		fam   bench.Family
+		cells int
+		grid  int
+	}{
+		{bench.FamilyHotspotCluster, 25000, 80},
+		{bench.FamilyWideDatapath, 50000, 160},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("family=%s/cells=%d/grid=%dx%d", c.fam, c.cells, c.grid, c.grid), func(b *testing.B) {
+			g := scenarioBenchmark(b, c.fam, c.cells)
+			// A fresh flow per iteration: the flow caches placement,
+			// activity and pooled solvers, so reusing one would time warm
+			// re-solves instead of the full pipeline.
+			var an *flow.Analysis
+			for i := 0; i < b.N; i++ {
+				f := scenarioFlow(b, g, c.grid)
+				var err error
+				an, err = f.AnalyzeBaseline()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(g.Design.NumInstances()), "cells")
+			b.ReportMetric(an.Thermal.PeakRise, "peak_rise_C")
+			b.ReportMetric(float64(len(an.Hotspots)), "hotspots")
+		})
+	}
+}
+
+// BenchmarkScenarioSweep runs the concurrent efficiency sweep on a 25k-cell
+// scenario with the 80x80 grid: the sweep engine on a workload well past
+// the paper's size.
+func BenchmarkScenarioSweep(b *testing.B) {
+	g := scenarioBenchmark(b, bench.FamilyHotspotCluster, 25000)
+	f := scenarioFlow(b, g, 80)
+	opts := core.SweepOptions{Overheads: []float64{0.16, 0.32}}
+	var res *core.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.SweepEfficiency(f, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, pt := range res.PointsFor(core.StrategyERI) {
+		b.ReportMetric(pt.TempReduction*100, fmt.Sprintf("eri%d_pct", int(pt.AreaOverhead*100+0.5)))
+	}
+}
+
+// BenchmarkScenarioFamilies is the per-family smoke benchmark CI archives:
+// one small seed of every family through the full flow on the paper's
+// 40x40 grid, reporting the family's thermal signature.
+func BenchmarkScenarioFamilies(b *testing.B) {
+	for _, fam := range bench.Families() {
+		b.Run("family="+string(fam), func(b *testing.B) {
+			g := scenarioBenchmark(b, fam, 4000)
+			// Fresh flow per iteration so every op is the cold full flow,
+			// not a warm cached re-solve.
+			var an *flow.Analysis
+			for i := 0; i < b.N; i++ {
+				f := scenarioFlow(b, g, 0)
+				var err error
+				an, err = f.AnalyzeBaseline()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(g.Design.NumInstances()), "cells")
+			b.ReportMetric(an.Thermal.PeakRise, "peak_rise_C")
+			b.ReportMetric(float64(len(an.Hotspots)), "hotspots")
+		})
+	}
+}
+
 // BenchmarkLogicSimActivity measures random-vector activity extraction on
 // the paper benchmark (128 cycles).
 func BenchmarkLogicSimActivity(b *testing.B) {

@@ -3,17 +3,24 @@
 // units (the paper's circuit has nine units and about 12,000 cells) plus the
 // Liberty-lite cell library it references.
 //
+// Beyond the fixed paper benchmark, -family selects a seeded scenario
+// family: a parameterized generator that scales to a target cell count and
+// derives a per-unit workload, reproducibly from the seed.
+//
 // Usage:
 //
-//	benchgen -out design.v -lib library.lib            # paper benchmark
-//	benchgen -small -out small.v                       # reduced benchmark
-//	benchgen -units mult:32,mult:16,alu:32 -out my.v   # custom unit list
+//	benchgen -out design.v -lib library.lib             # paper benchmark
+//	benchgen -small -out small.v                        # reduced benchmark
+//	benchgen -units mult:32,mult:16,alu:32 -out my.v    # custom unit list
+//	benchgen -family hotspot-cluster -seed 3 -cells 25000 -out hc25k.v
+//	benchgen -families                                  # list families
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -28,19 +35,53 @@ func main() {
 		libPath  = flag.String("lib", "", "optional output path for the Liberty-lite cell library")
 		small    = flag.Bool("small", false, "generate the reduced benchmark instead of the paper-sized one")
 		units    = flag.String("units", "", "custom comma-separated unit list, e.g. mult:32,adder:16,alu:8,mac:16,cmp:32,csadd:64")
+		family   = flag.String("family", "", "scenario family to generate (see -families); overrides -small/-units")
+		seed     = flag.Int64("seed", 1, "scenario RNG seed (with -family)")
+		cells    = flag.Int("cells", 12000, "approximate target standard-cell count (with -family)")
 		clockGHz = flag.Float64("clock", 1.0, "clock frequency in GHz (recorded in the summary only)")
+		list     = flag.Bool("families", false, "list the scenario families and exit")
 		quiet    = flag.Bool("q", false, "suppress the summary printed to stdout")
 	)
 	flag.Parse()
 
-	lib := celllib.Default65nm()
-	cfg, err := buildConfig(*small, *units, *clockGHz)
-	if err != nil {
-		fatal(err)
+	if *list {
+		for _, f := range bench.Families() {
+			fmt.Println(f)
+		}
+		return
 	}
-	design, err := bench.Generate(lib, cfg)
-	if err != nil {
-		fatal(err)
+
+	lib := celllib.Default65nm()
+	var (
+		design *netlist.Design
+		cfg    bench.Config
+		wl     *bench.Workload
+	)
+	if *family != "" {
+		fam, err := bench.ParseFamily(*family)
+		if err != nil {
+			fatal(err)
+		}
+		gen, err := bench.Scenario{
+			Family:      fam,
+			Seed:        *seed,
+			TargetCells: *cells,
+			ClockGHz:    *clockGHz,
+		}.Generate(lib)
+		if err != nil {
+			fatal(err)
+		}
+		design, cfg, wl = gen.Design, gen.Config, &gen.Workload
+	} else {
+		var err error
+		cfg, err = buildConfig(*small, *units, *clockGHz)
+		if err != nil {
+			fatal(err)
+		}
+		design, err = bench.Generate(lib, cfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	out, err := os.Create(*outPath)
@@ -71,7 +112,15 @@ func main() {
 		fmt.Printf("clock    : %.2f GHz\n", cfg.ClockGHz)
 		fmt.Printf("units    :\n")
 		for _, u := range design.Units() {
-			fmt.Printf("  %-10s %6d cells\n", u, len(design.InstancesInUnit(u)))
+			act := ""
+			if wl != nil {
+				act = fmt.Sprintf("  activity %.2f", wl.ActivityFor(u))
+			}
+			fmt.Printf("  %-10s %6d cells%s\n", u, len(design.InstancesInUnit(u)), act)
+		}
+		if wl != nil {
+			fmt.Printf("workload : %s (default activity %.2f, hot units: %s)\n",
+				wl.Name, wl.Default, strings.Join(hotUnits(*wl), ", "))
 		}
 		fmt.Printf("written  : %s\n", *outPath)
 		if *libPath != "" {
@@ -80,7 +129,28 @@ func main() {
 	}
 }
 
-// buildConfig resolves the flags into a benchmark configuration.
+// hotUnits lists the workload's explicitly heated units, hottest first.
+func hotUnits(wl bench.Workload) []string {
+	var names []string
+	for u, a := range wl.Activity {
+		if a >= 2*wl.Default {
+			names = append(names, u)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if wl.Activity[names[i]] != wl.Activity[names[j]] {
+			return wl.Activity[names[i]] > wl.Activity[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if len(names) == 0 {
+		return []string{"none"}
+	}
+	return names
+}
+
+// buildConfig resolves the non-scenario flags into a benchmark
+// configuration.
 func buildConfig(small bool, units string, clockGHz float64) (bench.Config, error) {
 	switch {
 	case units != "":

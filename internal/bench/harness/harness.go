@@ -1,0 +1,333 @@
+// Package harness runs the entire analysis flow over generated scenarios
+// and checks metamorphic, cross-implementation properties instead of golden
+// numbers: the structured-grid fast path against the SPICE oracle, the
+// multigrid preconditioner against the Jacobi fallback, warm-started pooled
+// solves against cold solves, the concurrent sweep engine against the
+// sequential one, and the placer's legality invariants — each of which must
+// hold for every design the scenario generator can produce, not just the
+// paper's single 12k-cell point.
+//
+// The harness is the test driver behind `go test ./internal/bench/...` and
+// the CI scenario job; it is a normal package (no testing dependency) so
+// commands and benchmarks can reuse it.
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+	"thermplace/internal/core"
+	"thermplace/internal/flow"
+	"thermplace/internal/geom"
+	"thermplace/internal/netlist"
+	"thermplace/internal/thermal"
+)
+
+// Options tunes how deep the harness drives the flow for one scenario.
+type Options struct {
+	// Grid is the square thermal-grid resolution (NX = NY). Zero means 20.
+	Grid int
+	// SimCycles is the random-vector simulation depth. Zero means 48.
+	SimCycles int
+	// RefinePasses is the number of detailed-placement passes; zero means 1
+	// (so the refiner's invariants are exercised), negative disables.
+	RefinePasses int
+	// Overheads are the sweep area-overhead points. Nil means {0.25}.
+	Overheads []float64
+	// Workers is the concurrent sweep width compared against Workers=1.
+	// Zero means 4.
+	Workers int
+	// OracleMaxUnknowns bounds the system size for the SPICE-oracle check
+	// (the oracle is dense in names and an order of magnitude slower); the
+	// check is skipped on larger systems. Zero means 8000.
+	OracleMaxUnknowns int
+	// TolC is the cross-implementation temperature tolerance in degrees
+	// Celsius. Zero means 1e-6.
+	TolC float64
+	// SkipDeterminism skips the regenerate-and-compare netlist check.
+	SkipDeterminism bool
+	// SkipSweep skips the sequential-versus-concurrent sweep comparison.
+	SkipSweep bool
+}
+
+func (o Options) normalized() Options {
+	if o.Grid == 0 {
+		o.Grid = 20
+	}
+	if o.SimCycles == 0 {
+		o.SimCycles = 48
+	}
+	switch {
+	case o.RefinePasses == 0:
+		o.RefinePasses = 1
+	case o.RefinePasses < 0:
+		o.RefinePasses = 0
+	}
+	if len(o.Overheads) == 0 {
+		o.Overheads = []float64{0.25}
+	}
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.OracleMaxUnknowns == 0 {
+		o.OracleMaxUnknowns = 8000
+	}
+	if o.TolC == 0 {
+		o.TolC = 1e-6
+	}
+	return o
+}
+
+// Check records one property the harness verified (or skipped) for a
+// scenario.
+type Check struct {
+	// Name identifies the property, e.g. "fastpath-vs-spice-oracle".
+	Name string
+	// Detail reports the measured margin, e.g. "max |dT| = 1.9e-10 C".
+	Detail string
+	// Skipped marks a check that did not apply to this scenario (for
+	// example the SPICE oracle on a grid above OracleMaxUnknowns).
+	Skipped bool
+}
+
+// Report summarizes one harness run.
+type Report struct {
+	// Scenario is the normalized scenario that was driven through the flow.
+	Scenario bench.Scenario
+	// Cells is the generated standard-cell count.
+	Cells int
+	// Units is the number of logical units in the design.
+	Units int
+	// PeakRise is the baseline peak temperature rise in kelvin.
+	PeakRise float64
+	// Hotspots is the number of hotspots detected on the baseline.
+	Hotspots int
+	// Checks lists every verified property in execution order.
+	Checks []Check
+}
+
+func (r *Report) pass(name, detail string) {
+	r.Checks = append(r.Checks, Check{Name: name, Detail: detail})
+}
+func (r *Report) skipped(name, why string) {
+	r.Checks = append(r.Checks, Check{Name: name, Detail: why, Skipped: true})
+}
+
+// Passed returns the number of checks that ran and held.
+func (r *Report) Passed() int {
+	n := 0
+	for _, c := range r.Checks {
+		if !c.Skipped {
+			n++
+		}
+	}
+	return n
+}
+
+// Run generates the scenario, drives it through place → power → thermal →
+// sweep, and verifies every cross-implementation property. It returns a
+// report of the checks performed; the first violated property aborts the
+// run with a descriptive error.
+func Run(sc bench.Scenario, opts Options) (*Report, error) {
+	opts = opts.normalized()
+	gen, err := sc.Generate(celllib.Default65nm())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Scenario: gen.Scenario,
+		Cells:    gen.Design.NumInstances(),
+		Units:    len(gen.Config.Units),
+	}
+
+	// Property: the generator's reproducibility contract. Regenerating the
+	// scenario must produce a byte-identical netlist.
+	if opts.SkipDeterminism {
+		rep.skipped("netlist-determinism", "disabled by options")
+	} else {
+		again, err := sc.Generate(celllib.Default65nm())
+		if err != nil {
+			return rep, fmt.Errorf("harness: regenerating %s: %w", gen.Scenario, err)
+		}
+		var b1, b2 bytes.Buffer
+		if err := netlist.WriteVerilog(&b1, gen.Design); err != nil {
+			return rep, err
+		}
+		if err := netlist.WriteVerilog(&b2, again.Design); err != nil {
+			return rep, err
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			return rep, fmt.Errorf("harness: %s: regenerated netlist differs from the first generation", gen.Scenario)
+		}
+		rep.pass("netlist-determinism", fmt.Sprintf("%d bytes identical", b1.Len()))
+	}
+
+	cfg := flow.ScenarioConfig(gen.Scenario)
+	cfg.SimCycles = opts.SimCycles
+	cfg.RefinePasses = opts.RefinePasses
+	cfg.Thermal.NX, cfg.Thermal.NY = opts.Grid, opts.Grid
+
+	f := flow.New(gen.Design, gen.Workload, cfg)
+	defer f.Close()
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		return rep, fmt.Errorf("harness: %s: baseline analysis: %w", gen.Scenario, err)
+	}
+	rep.PeakRise = base.PeakRise()
+	rep.Hotspots = len(base.Hotspots)
+
+	// Property: the baseline placement satisfies every legality invariant
+	// (in-core, row-aligned, site-aligned, non-overlapping, gap-free with
+	// fillers).
+	if errs := base.Placement.Validate(); len(errs) != 0 {
+		return rep, fmt.Errorf("harness: %s: baseline placement invalid: %v (and %d more)",
+			gen.Scenario, errs[0], len(errs)-1)
+	}
+	rep.pass("placement-invariants", fmt.Sprintf("%d cells legal", rep.Cells))
+
+	// Property: a warm-started pooled solve equals a cold fresh-solver
+	// solve on the same power map.
+	cold, err := thermal.Solve(base.PowerMap, cfg.Thermal)
+	if err != nil {
+		return rep, fmt.Errorf("harness: %s: cold solve: %w", gen.Scenario, err)
+	}
+	if d := maxAbsDiff(base.Thermal.Surface, cold.Surface); d > opts.TolC {
+		return rep, fmt.Errorf("harness: %s: warm vs cold solve differ by %.3g C (tol %.3g)", gen.Scenario, d, opts.TolC)
+	} else {
+		rep.pass("warm-vs-cold-solve", fmt.Sprintf("max |dT| = %.3g C", d))
+	}
+
+	// Property: the multigrid-preconditioned solve agrees with the Jacobi
+	// fallback (same system, different preconditioner).
+	jcfg := cfg.Thermal
+	jcfg.Precond = thermal.PrecondJacobi
+	jac, err := thermal.Solve(base.PowerMap, jcfg)
+	if err != nil {
+		return rep, fmt.Errorf("harness: %s: jacobi solve: %w", gen.Scenario, err)
+	}
+	if d := maxAbsDiff(base.Thermal.Surface, jac.Surface); d > opts.TolC {
+		return rep, fmt.Errorf("harness: %s: MG vs Jacobi differ by %.3g C (tol %.3g)", gen.Scenario, d, opts.TolC)
+	} else {
+		rep.pass("mg-vs-jacobi", fmt.Sprintf("max |dT| = %.3g C", d))
+	}
+
+	// Property: the structured-grid fast path matches the SPICE-circuit
+	// oracle on grids small enough to afford it.
+	unknowns := cfg.Thermal.NX * cfg.Thermal.NY * len(cfg.Thermal.Stack)
+	if unknowns > opts.OracleMaxUnknowns {
+		rep.skipped("fastpath-vs-spice-oracle", fmt.Sprintf("%d unknowns > limit %d", unknowns, opts.OracleMaxUnknowns))
+	} else {
+		scfg := cfg.Thermal
+		scfg.UseSpice = true
+		oracle, err := thermal.Solve(base.PowerMap, scfg)
+		if err != nil {
+			return rep, fmt.Errorf("harness: %s: spice oracle: %w", gen.Scenario, err)
+		}
+		if d := maxAbsDiff(base.Thermal.Surface, oracle.Surface); d > opts.TolC {
+			return rep, fmt.Errorf("harness: %s: fast path vs SPICE oracle differ by %.3g C (tol %.3g)", gen.Scenario, d, opts.TolC)
+		} else {
+			rep.pass("fastpath-vs-spice-oracle", fmt.Sprintf("max |dT| = %.3g C over %d unknowns", d, unknowns))
+		}
+	}
+
+	if opts.SkipSweep {
+		rep.skipped("sweep-workers-equality", "disabled by options")
+		return rep, nil
+	}
+	if len(base.Hotspots) == 0 {
+		rep.skipped("sweep-workers-equality", "baseline has no hotspots to optimize")
+		return rep, nil
+	}
+
+	// Property: the concurrent sweep engine is bit-identical to the
+	// sequential one — == on every float, not approximate equality — and a
+	// fresh flow reproduces the first flow's baseline exactly.
+	runSweep := func(workers int, keep bool) (*core.SweepResult, error) {
+		g := flow.New(gen.Design, gen.Workload, cfg)
+		defer g.Close()
+		return core.SweepEfficiency(g, core.SweepOptions{
+			Overheads:    opts.Overheads,
+			Workers:      workers,
+			KeepAnalyses: keep,
+		})
+	}
+	seq, err := runSweep(1, true)
+	if err != nil {
+		if strings.Contains(err.Error(), "no detectable hotspots") {
+			rep.skipped("sweep-workers-equality", "sweep found no hotspots")
+			return rep, nil
+		}
+		return rep, fmt.Errorf("harness: %s: sequential sweep: %w", gen.Scenario, err)
+	}
+	if seq.Baseline.PeakRise() != base.PeakRise() {
+		return rep, fmt.Errorf("harness: %s: fresh flow baseline %v differs from first flow %v",
+			gen.Scenario, seq.Baseline.PeakRise(), base.PeakRise())
+	}
+	rep.pass("fresh-flow-reproducibility", fmt.Sprintf("baseline peak rise %.6f C reproduced", base.PeakRise()))
+
+	con, err := runSweep(opts.Workers, false)
+	if err != nil {
+		return rep, fmt.Errorf("harness: %s: concurrent sweep (workers=%d): %w", gen.Scenario, opts.Workers, err)
+	}
+	if err := compareSweeps(seq, con); err != nil {
+		return rep, fmt.Errorf("harness: %s: workers=1 vs workers=%d: %w", gen.Scenario, opts.Workers, err)
+	}
+	rep.pass("sweep-workers-equality", fmt.Sprintf("%d points bit-identical at workers=%d", len(seq.Points), opts.Workers))
+
+	// Property: every placement the sweep produced is legal.
+	validated := 0
+	for _, pt := range seq.Points {
+		if pt.Placement == nil {
+			continue
+		}
+		if errs := pt.Placement.Validate(); len(errs) != 0 {
+			return rep, fmt.Errorf("harness: %s: %s point at overhead %.2f invalid: %v",
+				gen.Scenario, pt.Strategy, pt.AreaOverhead, errs[0])
+		}
+		validated++
+	}
+	rep.pass("sweep-placement-invariants", fmt.Sprintf("%d swept placements legal", validated))
+	return rep, nil
+}
+
+// compareSweeps requires exactly identical sweep output: same point
+// identities in the same order and bit-identical floats.
+func compareSweeps(seq, con *core.SweepResult) error {
+	if seq.Baseline.PeakRise() != con.Baseline.PeakRise() {
+		return fmt.Errorf("baseline peak rise differs: %v vs %v", seq.Baseline.PeakRise(), con.Baseline.PeakRise())
+	}
+	if len(seq.Points) != len(con.Points) {
+		return fmt.Errorf("point count differs: %d vs %d", len(seq.Points), len(con.Points))
+	}
+	for i := range seq.Points {
+		s, c := seq.Points[i], con.Points[i]
+		if s.Strategy != c.Strategy || s.Rows != c.Rows {
+			return fmt.Errorf("point %d identity differs: %s/%d vs %s/%d", i, s.Strategy, s.Rows, c.Strategy, c.Rows)
+		}
+		if s.PeakRise != c.PeakRise || s.TempReduction != c.TempReduction ||
+			s.AreaOverhead != c.AreaOverhead || s.Utilization != c.Utilization {
+			return fmt.Errorf("point %d (%s) differs:\n  seq %+v\n  con %+v", i, s.Strategy, s, c)
+		}
+	}
+	return nil
+}
+
+// maxAbsDiff returns the largest absolute element difference between two
+// equally-sized grids.
+func maxAbsDiff(a, b *geom.Grid) float64 {
+	av, bv := a.Values(), b.Values()
+	if len(av) != len(bv) {
+		return math.Inf(1)
+	}
+	d := 0.0
+	for i := range av {
+		if x := math.Abs(av[i] - bv[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"thermplace/internal/bench"
+)
+
+// TestScenarioFamiliesFullFlow is the metamorphic acceptance test: every
+// scenario family, at two sizes each, runs the entire place → power →
+// thermal → sweep pipeline and must satisfy every cross-implementation
+// property (fast path vs SPICE oracle, MG vs Jacobi, warm vs cold solves,
+// Workers=1 vs Workers=N bit-identity, placement legality). In -short mode
+// one small seed per family still covers the full flow, which is what the
+// CI scenario-harness job runs.
+func TestScenarioFamiliesFullFlow(t *testing.T) {
+	sizes := []int{1500, 3500}
+	if testing.Short() {
+		sizes = sizes[:1]
+	}
+	for _, fam := range bench.Families() {
+		for _, cells := range sizes {
+			fam, cells := fam, cells
+			t.Run(fmt.Sprintf("%s/cells=%d", fam, cells), func(t *testing.T) {
+				rep, err := Run(bench.Scenario{Family: fam, Seed: 7, TargetCells: cells}, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lo, hi := int(0.75*float64(cells)), int(1.25*float64(cells)); rep.Cells < lo || rep.Cells > hi {
+					t.Errorf("generated %d cells for target %d", rep.Cells, cells)
+				}
+				if rep.PeakRise <= 0 {
+					t.Errorf("baseline peak rise %v must be positive", rep.PeakRise)
+				}
+				if rep.Passed() < 6 {
+					t.Errorf("only %d properties verified: %+v", rep.Passed(), rep.Checks)
+				}
+				for _, c := range rep.Checks {
+					t.Logf("%-28s %s%s", c.Name, c.Detail, skipMark(c))
+				}
+			})
+		}
+	}
+}
+
+func skipMark(c Check) string {
+	if c.Skipped {
+		return " (skipped)"
+	}
+	return ""
+}
+
+// TestHarnessOptionKnobs exercises the non-default option paths: a custom
+// grid above the oracle limit (oracle skipped), sweep disabled, and
+// refinement disabled.
+func TestHarnessOptionKnobs(t *testing.T) {
+	sc := bench.Scenario{Family: bench.FamilyHotspotCluster, Seed: 9, TargetCells: 1200}
+	rep, err := Run(sc, Options{
+		Grid:         24,
+		SimCycles:    32,
+		RefinePasses: -1,
+		Workers:      2,
+		// 24*24*9 = 5184 unknowns; force the oracle to be skipped.
+		OracleMaxUnknowns: 1000,
+		SkipSweep:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleSkipped, sweepSkipped := false, false
+	for _, c := range rep.Checks {
+		switch c.Name {
+		case "fastpath-vs-spice-oracle":
+			oracleSkipped = c.Skipped
+		case "sweep-workers-equality":
+			sweepSkipped = c.Skipped
+		}
+	}
+	if !oracleSkipped {
+		t.Error("oracle check should be skipped above OracleMaxUnknowns")
+	}
+	if !sweepSkipped {
+		t.Error("sweep check should be skipped with SkipSweep")
+	}
+	if rep.Passed() < 4 {
+		t.Errorf("only %d properties verified: %+v", rep.Passed(), rep.Checks)
+	}
+}
+
+// TestHarnessRejectsBadScenario propagates generator validation errors.
+func TestHarnessRejectsBadScenario(t *testing.T) {
+	if _, err := Run(bench.Scenario{Family: "no-such-family"}, Options{}); err == nil {
+		t.Fatal("unknown family must fail")
+	}
+	if _, err := Run(bench.Scenario{Family: bench.FamilyManyUnits, TargetCells: 50}, Options{}); err == nil {
+		t.Fatal("absurd target cell count must fail")
+	}
+}

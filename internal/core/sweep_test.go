@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+	"thermplace/internal/flow"
+	"thermplace/internal/netlist"
+)
+
+// TestRunTasksErrorSelection pins the error contract of the sweep's worker
+// group: the lowest-index error among the tasks that ran is returned.
+func TestRunTasksErrorSelection(t *testing.T) {
+	sentinel := errors.New("task 2 failed")
+	for _, workers := range []int{1, 3, 16} {
+		tasks := make([]func() error, 6)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() error {
+				if i == 2 {
+					return sentinel
+				}
+				return nil
+			}
+		}
+		if err := runTasks(tasks, workers); !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: got %v, want the single failing task's error", workers, err)
+		}
+	}
+
+	// With several failing tasks, Workers=1 deterministically surfaces the
+	// first; concurrent runs may skip later tasks after the first failure
+	// but must still return one of the injected errors.
+	e1, e3 := errors.New("t1"), errors.New("t3")
+	mkTasks := func() []func() error {
+		tasks := make([]func() error, 5)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() error {
+				switch i {
+				case 1:
+					return e1
+				case 3:
+					return e3
+				}
+				return nil
+			}
+		}
+		return tasks
+	}
+	if err := runTasks(mkTasks(), 1); !errors.Is(err, e1) {
+		t.Fatalf("sequential run must return the first error, got %v", err)
+	}
+	if err := runTasks(mkTasks(), 4); !errors.Is(err, e1) && !errors.Is(err, e3) {
+		t.Fatalf("concurrent run returned an unexpected error: %v", err)
+	}
+}
+
+// TestRunTasksWorkerClamping checks that worker counts beyond the task
+// count (and non-positive counts) still run every task exactly once.
+func TestRunTasksWorkerClamping(t *testing.T) {
+	for _, workers := range []int{-3, 0, 1, 2, 64} {
+		var ran atomic.Int32
+		tasks := make([]func() error, 3)
+		for i := range tasks {
+			tasks[i] = func() error { ran.Add(1); return nil }
+		}
+		if err := runTasks(tasks, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := ran.Load(); got != 3 {
+			t.Fatalf("workers=%d: ran %d of 3 tasks", workers, got)
+		}
+	}
+}
+
+// comparePoints requires two sweep results to be exactly identical: same
+// point identities in order and bit-identical floats.
+func comparePoints(t *testing.T, label string, a, b *SweepResult) {
+	t.Helper()
+	if a.Baseline.PeakRise() != b.Baseline.PeakRise() {
+		t.Fatalf("%s: baseline differs: %v vs %v", label, a.Baseline.PeakRise(), b.Baseline.PeakRise())
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("%s: point count differs: %d vs %d", label, len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		x, y := a.Points[i], b.Points[i]
+		if x.Strategy != y.Strategy || x.Rows != y.Rows ||
+			x.PeakRise != y.PeakRise || x.TempReduction != y.TempReduction ||
+			x.AreaOverhead != y.AreaOverhead || x.Utilization != y.Utilization {
+			t.Fatalf("%s: point %d differs:\n  a %+v\n  b %+v", label, i, x, y)
+		}
+	}
+}
+
+// TestSweepWorkersEdgeCases checks the documented Workers semantics: zero
+// picks GOMAXPROCS, negative values behave like zero, and any setting is
+// bit-identical to the sequential sweep.
+func TestSweepWorkersEdgeCases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-sweep comparison skipped in -short mode")
+	}
+	run := func(workers int) *SweepResult {
+		f := hotFlow(t, "mult8")
+		defer f.Close()
+		res, err := SweepEfficiency(f, SweepOptions{
+			Overheads: []float64{0.2},
+			Workers:   workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{0, -2, 7} {
+		comparePoints(t, fmt.Sprintf("workers=%d", workers), ref, run(workers))
+	}
+}
+
+// TestSweepSinglePoint checks the degenerate single-overhead sweep: one
+// Default point, one ERI point, at most one HW point, all positive.
+func TestSweepSinglePoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	f := hotFlow(t, "mult8")
+	defer f.Close()
+	res, err := SweepEfficiency(f, SweepOptions{Overheads: []float64{0.25}, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.PointsFor(StrategyDefault)); n != 1 {
+		t.Errorf("single-overhead sweep produced %d Default points", n)
+	}
+	if n := len(res.PointsFor(StrategyERI)); n != 1 {
+		t.Errorf("single-overhead sweep produced %d ERI points", n)
+	}
+	if n := len(res.PointsFor(StrategyHW)); n > 1 {
+		t.Errorf("single-overhead sweep produced %d HW points", n)
+	}
+	for _, pt := range res.Points {
+		if pt.AreaOverhead <= 0 {
+			t.Errorf("%s point has non-positive area overhead %v", pt.Strategy, pt.AreaOverhead)
+		}
+	}
+	// A single ERI row count must also produce exactly one ERI point.
+	res, err = SweepEfficiency(f, SweepOptions{
+		Overheads:  []float64{0.25},
+		ERIRows:    []int{4},
+		Strategies: []Strategy{StrategyERI},
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Rows != 4 {
+		t.Fatalf("ERI-only single-point sweep returned %+v", res.Points)
+	}
+}
+
+// TestSweepConcurrentErrorPropagation checks that a failing worker aborts a
+// concurrent sweep with an error, not a partial result or a hang.
+func TestSweepConcurrentErrorPropagation(t *testing.T) {
+	d := netlist.NewDesign("loop", celllib.Default65nm())
+	u1, _ := d.AddInstance("u1", "INV_X1", "u")
+	u2, _ := d.AddInstance("u2", "INV_X1", "u")
+	n1 := d.GetOrCreateNet("n1")
+	n2 := d.GetOrCreateNet("n2")
+	_ = d.Connect(u1, "A", n2)
+	_ = d.Connect(u1, "Z", n1)
+	_ = d.Connect(u2, "A", n1)
+	_ = d.Connect(u2, "Z", n2)
+	for _, workers := range []int{4, -1} {
+		f := flow.New(d, bench.UniformWorkload(0.2), flow.FastConfig())
+		res, err := SweepEfficiency(f, SweepOptions{
+			Overheads: []float64{0.1, 0.2, 0.3},
+			Workers:   workers,
+		})
+		f.Close()
+		if err == nil {
+			t.Fatalf("workers=%d: sweep on an unsimulatable design returned %+v, want error", workers, res)
+		}
+	}
+}

@@ -64,6 +64,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// ScenarioConfig maps the physical-design knobs of a bench.Scenario —
+// utilization, aspect ratio, clock, and stimulus seed — onto a flow
+// configuration, so a generated scenario runs the pipeline under the
+// conditions it was generated for. Grid resolution and simulation depth
+// keep their defaults; callers tune them on the returned Config.
+func ScenarioConfig(sc bench.Scenario) Config {
+	sc = sc.Normalized()
+	cfg := DefaultConfig()
+	cfg.Utilization = sc.Utilization
+	cfg.AspectRatio = sc.AspectRatio
+	cfg.ClockHz = sc.ClockGHz * 1e9
+	cfg.Seed = sc.Seed
+	return cfg
+}
+
 // FastConfig returns a reduced configuration (coarser grid, fewer cycles)
 // for tests and quick exploration.
 func FastConfig() Config {

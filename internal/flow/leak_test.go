@@ -1,0 +1,68 @@
+package flow
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+)
+
+// waitGoroutines polls until the goroutine count returns to base, failing
+// with a full stack dump if it does not settle.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFlowCloseReleasesGoroutines is the goroutine-leak regression for the
+// flow's pooled thermal solvers: repeated Analyze + Close cycles must leave
+// the goroutine count where it started, and a closed flow must rebuild a
+// working pool on the next Analyze.
+func TestFlowCloseReleasesGoroutines(t *testing.T) {
+	lib := celllib.Default65nm()
+	d, err := bench.Generate(lib, bench.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := bench.Workload{Name: "hot-mult8", Activity: map[string]float64{"mult8": 0.6}, Default: 0.03}
+	cfg := FastConfig()
+	// The paper grid (40x40x9 unknowns) is large enough for the CG solvers
+	// to start parallel worker pools, which is what Close must release.
+	cfg.Thermal.NX, cfg.Thermal.NY = 40, 40
+
+	base := runtime.NumGoroutine()
+	for cycle := 0; cycle < 4; cycle++ {
+		f := New(d, wl, cfg)
+		if _, err := f.AnalyzeBaseline(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.AnalyzeBaseline(); err != nil { // seeded pooled re-solve
+			t.Fatal(err)
+		}
+		f.Close()
+		f.Close() // Close must be idempotent
+	}
+	waitGoroutines(t, base)
+
+	// A closed flow stays usable: the next analysis builds a fresh pool,
+	// and closing again releases it.
+	f := New(d, wl, cfg)
+	if _, err := f.AnalyzeBaseline(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	waitGoroutines(t, base)
+}

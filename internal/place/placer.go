@@ -160,30 +160,69 @@ func placeInRegion(p *Placement, cells []*netlist.Instance, region geom.Rect) er
 		return nil
 	}
 	fp := p.FP
-	// Rows overlapping the region by at least half a row height.
-	var rows []floorplan.Row
-	for _, r := range fp.Rows {
-		rr := r.Rect(fp.RowHeight)
-		overlap := rr.Intersect(region)
-		if overlap.H() >= fp.RowHeight/2 {
-			rows = append(rows, floorplan.Row{
-				Index: r.Index,
-				Y:     r.Y,
-				X0:    max(r.X0, region.Xlo),
-				X1:    min(r.X1, region.Xhi),
-			})
+	// Rows overlapping the region by at least minOverlap vertically.
+	rowsFor := func(minOverlap float64) []floorplan.Row {
+		var rows []floorplan.Row
+		for _, r := range fp.Rows {
+			rr := r.Rect(fp.RowHeight)
+			overlap := rr.Intersect(region)
+			if overlap.H() >= minOverlap {
+				rows = append(rows, floorplan.Row{
+					Index: r.Index,
+					Y:     r.Y,
+					X0:    max(r.X0, region.Xlo),
+					X1:    min(r.X1, region.Xhi),
+				})
+			}
 		}
+		return rows
 	}
-	if len(rows) == 0 {
-		return fmt.Errorf("no rows overlap region %v", region)
+	capacityOf := func(rows []floorplan.Row) float64 {
+		capacity := 0.0
+		for _, r := range rows {
+			capacity += r.Width()
+		}
+		return capacity
 	}
 	totalWidth := 0.0
 	for _, c := range cells {
 		totalWidth += c.Master.Width
 	}
-	capacity := 0.0
-	for _, r := range rows {
-		capacity += r.Width()
+	rows := rowsFor(fp.RowHeight / 2)
+	capacity := capacityOf(rows)
+	// Row quantization can starve small regions: a region only fractionally
+	// taller than its integral row count loses the partial row to the
+	// half-height filter, and with many small units that loss can exceed the
+	// utilization slack. Grow the row set progressively — partial-overlap
+	// rows first, then row segments widened beyond the region — rather than
+	// failing; the legalizer pulls any stragglers back to legality.
+	if totalWidth > capacity {
+		if grown := rowsFor(1e-9 * fp.RowHeight); capacityOf(grown) > capacity {
+			rows, capacity = grown, capacityOf(grown)
+		}
+	}
+	if totalWidth > capacity && len(rows) > 0 {
+		deficit := totalWidth - capacity
+		grow := deficit/float64(len(rows))/2 + fp.SiteWidth
+		for i := range rows {
+			full := fp.Rows[rows[i].Index]
+			rows[i].X0 = max(full.X0, rows[i].X0-grow)
+			rows[i].X1 = min(full.X1, rows[i].X1+grow)
+		}
+		capacity = capacityOf(rows)
+		if totalWidth > capacity {
+			// Last resort: use the full width of every overlapping row. The
+			// cells drift outside their unit region, but the placement stays
+			// feasible and Legalize keeps it legal.
+			for i := range rows {
+				full := fp.Rows[rows[i].Index]
+				rows[i].X0, rows[i].X1 = full.X0, full.X1
+			}
+			capacity = capacityOf(rows)
+		}
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no rows overlap region %v", region)
 	}
 	if totalWidth > capacity {
 		return fmt.Errorf("cells (%.1f um) exceed region row capacity (%.1f um)", totalWidth, capacity)
