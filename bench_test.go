@@ -65,8 +65,14 @@ func BenchmarkFig5_Profiles(b *testing.B) {
 	f := paperFlow(b, bench.ScatteredSmallHotspots())
 	var an *flow.Analysis
 	for i := 0; i < b.N; i++ {
-		var err error
-		an, err = f.AnalyzeBaseline()
+		// Analyze the (cached) baseline placement directly: AnalyzeBaseline
+		// now caches the whole analysis, which would turn this loop into a
+		// cache hit instead of the power→thermal pipeline it measures.
+		p, err := f.Baseline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		an, err = f.Analyze(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -81,6 +87,13 @@ func BenchmarkFig5_Profiles(b *testing.B) {
 // versus area overhead for the Default, ERI and HW strategies on the
 // scattered-hotspot workload. Reported metrics: the reduction (in percent)
 // of each strategy at roughly 16% and 32% area overhead.
+//
+// The flow is shared across iterations, so from the second sweep on the
+// baseline analysis is a cache hit (AnalyzeBaseline caches since the
+// incremental pipeline landed) — deliberately so: repeated sweeps on a
+// warm flow are the product's what-if-query shape, and the uncached
+// baseline pipeline is measured by BenchmarkFig5_Profiles and the
+// fresh-flow-per-op BenchmarkScenarioFamilies.
 func BenchmarkFig6_EfficiencySweep(b *testing.B) {
 	f := paperFlow(b, bench.ScatteredSmallHotspots())
 	opts := core.SweepOptions{Overheads: []float64{0.16, 0.32}}
@@ -105,6 +118,33 @@ func BenchmarkFig6_EfficiencySweep(b *testing.B) {
 	report(core.StrategyDefault, "default")
 	report(core.StrategyERI, "eri")
 	report(core.StrategyHW, "hw")
+}
+
+// BenchmarkFig6_EfficiencySweepIncremental is the Figure 6 sweep through
+// the delta-driven incremental pipeline (SweepOptions.Incremental): Default
+// points reflow from the cached baseline, ERI/HW power reports update
+// through placement deltas, and thermal solves warm-start from their
+// lineage parents. The sweep output is bit-identical to
+// BenchmarkFig6_EfficiencySweep's (asserted by the harness); only the time
+// differs.
+func BenchmarkFig6_EfficiencySweepIncremental(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	opts := core.SweepOptions{Overheads: []float64{0.16, 0.32}, Incremental: true}
+	var res *core.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.SweepEfficiency(f, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, p := range res.PointsFor(core.StrategyERI) {
+		suffix := "16"
+		if i == 1 {
+			suffix = "32"
+		}
+		b.ReportMetric(p.TempReduction*100, "eri"+suffix+"_pct")
+	}
 }
 
 // BenchmarkTable1_ConcentratedHotspot regenerates Table I: Default versus
@@ -588,19 +628,27 @@ func BenchmarkScenarioFullFlow(b *testing.B) {
 // scenario with the 80x80 grid: the sweep engine on a workload well past
 // the paper's size.
 func BenchmarkScenarioSweep(b *testing.B) {
-	g := scenarioBenchmark(b, bench.FamilyHotspotCluster, 25000)
-	f := scenarioFlow(b, g, 80)
-	opts := core.SweepOptions{Overheads: []float64{0.16, 0.32}}
-	var res *core.SweepResult
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = core.SweepEfficiency(f, opts)
-		if err != nil {
-			b.Fatal(err)
+	for _, incremental := range []bool{false, true} {
+		name := "fromscratch"
+		if incremental {
+			name = "incremental"
 		}
-	}
-	for _, pt := range res.PointsFor(core.StrategyERI) {
-		b.ReportMetric(pt.TempReduction*100, fmt.Sprintf("eri%d_pct", int(pt.AreaOverhead*100+0.5)))
+		b.Run(name, func(b *testing.B) {
+			g := scenarioBenchmark(b, bench.FamilyHotspotCluster, 25000)
+			f := scenarioFlow(b, g, 80)
+			opts := core.SweepOptions{Overheads: []float64{0.16, 0.32}, Incremental: incremental}
+			var res *core.SweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.SweepEfficiency(f, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, pt := range res.PointsFor(core.StrategyERI) {
+				b.ReportMetric(pt.TempReduction*100, fmt.Sprintf("eri%d_pct", int(pt.AreaOverhead*100+0.5)))
+			}
+		})
 	}
 }
 

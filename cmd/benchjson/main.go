@@ -4,9 +4,17 @@
 // array of runs, keeping the standard ns/op / B/op / allocs/op columns and
 // every custom b.ReportMetric column (peak_rise_C, eri32_pct, ...).
 //
+// It also diffs two such artifacts: `benchjson -baseline BENCH_baseline.json
+// -diff BENCH_smoke.json` compares a fresh run against a committed baseline
+// and prints per-benchmark (and per scenario family) ns/op regressions,
+// exiting 3 when any regression exceeds -regress percent. CI runs the diff
+// as a non-blocking step, so the trajectory is visible on every PR without
+// a noisy single-run failure gate.
+//
 // Usage:
 //
 //	go test -run NONE -bench . -benchmem . | benchjson -o BENCH_results.json
+//	benchjson -baseline BENCH_baseline.json -diff BENCH_smoke.json
 package main
 
 import (
@@ -28,7 +36,18 @@ type Run struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json to diff against (requires -diff)")
+	diffFile := flag.String("diff", "", "fresh BENCH_*.json to compare to -baseline (skips stdin conversion)")
+	regress := flag.Float64("regress", 10, "ns/op regression percentage that flips the diff exit code to 3")
 	flag.Parse()
+
+	if *diffFile != "" || *baseline != "" {
+		if *diffFile == "" || *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -baseline and -diff must be given together")
+			os.Exit(1)
+		}
+		os.Exit(runDiff(*baseline, *diffFile, *regress))
+	}
 
 	var runs []Run
 	sc := bufio.NewScanner(os.Stdin)
@@ -92,4 +111,115 @@ func parseLine(line string) (Run, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, len(r.Metrics) > 0
+}
+
+// loadRuns reads a benchjson artifact.
+func loadRuns(path string) (map[string]Run, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var runs []Run
+	if err := json.Unmarshal(data, &runs); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]Run, len(runs))
+	var order []string
+	for _, r := range runs {
+		name := canonicalName(r.Name)
+		if _, dup := byName[name]; !dup {
+			order = append(order, name)
+		}
+		byName[name] = r
+	}
+	return byName, order, nil
+}
+
+// canonicalName strips the trailing -GOMAXPROCS suffix so artifacts from
+// machines with different core counts compare.
+func canonicalName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// familyOf extracts the scenario family from a sub-benchmark path (the
+// "family=..." segment), falling back to the top-level benchmark name, so
+// regressions aggregate per family across benchmarks.
+func familyOf(name string) string {
+	for _, seg := range strings.Split(name, "/") {
+		if fam, ok := strings.CutPrefix(seg, "family="); ok {
+			return fam
+		}
+	}
+	return strings.TrimPrefix(strings.SplitN(name, "/", 2)[0], "Benchmark")
+}
+
+// runDiff compares fresh results against the committed baseline and returns
+// the process exit code: 0 when no ns/op regression exceeds the threshold,
+// 3 otherwise (missing benchmarks are reported but do not fail — the
+// baseline regenerates on the next refresh).
+func runDiff(basePath, freshPath string, regressPct float64) int {
+	base, _, err := loadRuns(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fresh, order, err := loadRuns(freshPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+
+	type famAgg struct{ base, cur float64 }
+	families := map[string]*famAgg{}
+	var famOrder []string
+	worst := 0.0
+	fmt.Printf("%-64s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range order {
+		cur := fresh[name]
+		curNs := cur.Metrics["ns/op"]
+		ref, ok := base[name]
+		if !ok {
+			fmt.Printf("%-64s %14s %14.0f %8s\n", name, "(new)", curNs, "-")
+			continue
+		}
+		refNs := ref.Metrics["ns/op"]
+		if refNs <= 0 || curNs <= 0 {
+			continue
+		}
+		pct := (curNs/refNs - 1) * 100
+		if pct > worst {
+			worst = pct
+		}
+		fmt.Printf("%-64s %14.0f %14.0f %+7.1f%%\n", name, refNs, curNs, pct)
+		fam := familyOf(name)
+		agg, ok := families[fam]
+		if !ok {
+			agg = &famAgg{}
+			families[fam] = agg
+			famOrder = append(famOrder, fam)
+		}
+		agg.base += refNs
+		agg.cur += curNs
+	}
+	for name := range base {
+		if _, ok := fresh[name]; !ok {
+			fmt.Printf("%-64s %14s\n", name, "(missing from fresh run)")
+		}
+	}
+	fmt.Printf("\nper-family ns/op (summed over the family's benchmarks):\n")
+	for _, fam := range famOrder {
+		agg := families[fam]
+		fmt.Printf("  %-30s %+7.1f%%\n", fam, (agg.cur/agg.base-1)*100)
+	}
+	if worst > regressPct {
+		fmt.Printf("\nworst regression %+.1f%% exceeds the %.0f%% threshold\n", worst, regressPct)
+		return 3
+	}
+	fmt.Printf("\nworst regression %+.1f%% within the %.0f%% threshold\n", worst, regressPct)
+	return 0
 }

@@ -30,20 +30,29 @@ import (
 	"thermplace/internal/core"
 	"thermplace/internal/flow"
 	"thermplace/internal/netlist"
+	"thermplace/internal/thermal"
 	"thermplace/internal/timing"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to reproduce: fig5, fig6, table1, timing, congestion or all")
-		outdir = flag.String("outdir", "", "optional directory for matrix dumps (fig5)")
-		small  = flag.Bool("small", false, "use the reduced benchmark (fast smoke run, smaller effects)")
-		gridN  = flag.Int("grid", 40, "thermal grid resolution per side (the paper uses 40)")
-		cycles = flag.Int("cycles", 128, "random simulation cycles for activity extraction")
-		seed   = flag.Int64("seed", 1, "random stimulus seed")
-		util   = flag.Float64("util", 0.85, "baseline placement utilization")
+		exp     = flag.String("exp", "all", "experiment to reproduce: fig5, fig6, table1, timing, congestion or all")
+		outdir  = flag.String("outdir", "", "optional directory for matrix dumps (fig5)")
+		small   = flag.Bool("small", false, "use the reduced benchmark (fast smoke run, smaller effects)")
+		gridN   = flag.Int("grid", 40, "thermal grid resolution per side (the paper uses 40)")
+		cycles  = flag.Int("cycles", 128, "random simulation cycles for activity extraction")
+		seed    = flag.Int64("seed", 1, "random stimulus seed")
+		util    = flag.Float64("util", 0.85, "baseline placement utilization")
+		workers = flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential)")
+		precond = flag.String("precond", "auto", "thermal CG preconditioner: auto, mg or jacobi")
+		incr    = flag.Bool("incremental", false, "derive sweep points incrementally from the baseline (delta-driven pipeline; bit-identical output)")
 	)
 	flag.Parse()
+	pk, err := thermal.ParsePrecond(*precond)
+	if err != nil {
+		fatal(err)
+	}
+	sweepOpts := core.SweepOptions{Workers: *workers, Incremental: *incr}
 
 	lib := celllib.Default65nm()
 	cfgBench := bench.DefaultConfig()
@@ -65,6 +74,7 @@ func main() {
 		cfg.ClockHz = cfgBench.ClockHz()
 		cfg.Thermal.NX = *gridN
 		cfg.Thermal.NY = *gridN
+		cfg.Thermal.Precond = pk
 		return flow.New(design, wl, cfg)
 	}
 
@@ -76,7 +86,7 @@ func main() {
 	}
 	if want("fig6") {
 		ran = true
-		runFig6(mkFlow(scatteredWorkload(*small)))
+		runFig6(mkFlow(scatteredWorkload(*small)), sweepOpts)
 	}
 	if want("table1") {
 		ran = true
@@ -148,9 +158,12 @@ func runFig5(f *flow.Flow, outdir string) {
 	fmt.Println()
 }
 
-func runFig6(f *flow.Flow) {
+func runFig6(f *flow.Flow, sweepOpts core.SweepOptions) {
 	fmt.Println("=== Figure 6: thermal efficiency of the various techniques (test set 1) ===")
-	res, err := core.SweepEfficiency(f, core.DefaultSweepOptions())
+	opts := core.DefaultSweepOptions()
+	opts.Workers = sweepOpts.Workers
+	opts.Incremental = sweepOpts.Incremental
+	res, err := core.SweepEfficiency(f, opts)
 	if err != nil {
 		fatal(err)
 	}

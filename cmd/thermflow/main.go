@@ -25,6 +25,7 @@ import (
 	"thermplace/internal/bench"
 	"thermplace/internal/celllib"
 	"thermplace/internal/congestion"
+	"thermplace/internal/core"
 	"thermplace/internal/def"
 	"thermplace/internal/flow"
 	"thermplace/internal/netlist"
@@ -50,6 +51,10 @@ func main() {
 		heat        = flag.Bool("heatmap", false, "print an ASCII heat map of the die to stdout")
 		withTiming  = flag.Bool("timing", true, "run static timing analysis")
 		withCongest = flag.Bool("congestion", true, "run the routing congestion estimate")
+		precond     = flag.String("precond", "auto", "thermal CG preconditioner: auto, mg or jacobi")
+		withSweep   = flag.Bool("sweep", false, "additionally run the Figure 6 efficiency sweep on this design/workload")
+		workers     = flag.Int("workers", 0, "concurrent sweep points with -sweep (0 = GOMAXPROCS, 1 = sequential)")
+		incr        = flag.Bool("incremental", false, "with -sweep, derive sweep points incrementally from the baseline (delta-driven pipeline; bit-identical output)")
 	)
 	flag.Parse()
 
@@ -72,7 +77,13 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Thermal.NX = *gridN
 	cfg.Thermal.NY = *gridN
+	pk, err := thermal.ParsePrecond(*precond)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Thermal.Precond = pk
 	f := flow.New(design, wl, cfg)
+	defer f.Close()
 
 	an, err := f.AnalyzeBaseline()
 	if err != nil {
@@ -115,6 +126,22 @@ func main() {
 	if *heat {
 		fmt.Println("thermal heat map (hot = @):")
 		fmt.Print(an.Thermal.Surface.ASCIIHeatmap())
+	}
+
+	if *withSweep {
+		res, err := core.SweepEfficiency(f, core.SweepOptions{
+			Workers:     *workers,
+			Incremental: *incr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("efficiency sweep  : baseline rise %.3f C, %d points\n",
+			res.Baseline.Thermal.PeakRise, len(res.Points))
+		for _, pt := range res.Points {
+			fmt.Printf("  %-8s overhead %5.1f%%  reduction %5.1f%%  rise %.3f C\n",
+				pt.Strategy, pt.AreaOverhead*100, pt.TempReduction*100, pt.PeakRise)
+		}
 	}
 
 	if *defOut != "" {

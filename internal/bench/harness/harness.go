@@ -50,8 +50,20 @@ type Options struct {
 	TolC float64
 	// SkipDeterminism skips the regenerate-and-compare netlist check.
 	SkipDeterminism bool
-	// SkipSweep skips the sequential-versus-concurrent sweep comparison.
+	// SkipSweep skips the sequential-versus-concurrent sweep comparison
+	// and the incremental-versus-from-scratch comparison.
 	SkipSweep bool
+
+	// InjectThermalBiasC, when nonzero, deliberately corrupts the baseline
+	// fast-path thermal result by this many degrees before the
+	// cross-implementation checks run. It exists to test the harness
+	// itself: a corrupted solver must make Run fail, proving the checks
+	// cannot silently pass.
+	InjectThermalBiasC float64
+	// CorruptPlacement, when true, deliberately knocks one placed cell off
+	// the site grid before the legality check. Like InjectThermalBiasC it
+	// exists to prove the harness catches a broken placer.
+	CorruptPlacement bool
 }
 
 func (o Options) normalized() Options {
@@ -180,6 +192,26 @@ func Run(sc bench.Scenario, opts Options) (*Report, error) {
 	rep.PeakRise = base.PeakRise()
 	rep.Hotspots = len(base.Hotspots)
 
+	// Negative injection (testing the harness itself): corrupt the solver
+	// output or the placement and let the checks below catch it.
+	if opts.InjectThermalBiasC != 0 {
+		for i, v := range base.Thermal.Surface.Values() {
+			base.Thermal.Surface.Values()[i] = v + opts.InjectThermalBiasC
+		}
+	}
+	if opts.CorruptPlacement {
+		for _, inst := range gen.Design.Instances() {
+			if inst.IsFiller() {
+				continue
+			}
+			if l, ok := base.Placement.Loc(inst); ok {
+				l.X += base.Placement.FP.SiteWidth / 3
+				base.Placement.SetLoc(inst, l)
+				break
+			}
+		}
+	}
+
 	// Property: the baseline placement satisfies every legality invariant
 	// (in-core, row-aligned, site-aligned, non-overlapping, gap-free with
 	// fillers).
@@ -234,31 +266,36 @@ func Run(sc bench.Scenario, opts Options) (*Report, error) {
 		}
 	}
 
+	skipSweepChecks := func(why string) {
+		rep.skipped("sweep-workers-equality", why)
+		rep.skipped("sweep-incremental-equality", why)
+	}
 	if opts.SkipSweep {
-		rep.skipped("sweep-workers-equality", "disabled by options")
+		skipSweepChecks("disabled by options")
 		return rep, nil
 	}
 	if len(base.Hotspots) == 0 {
-		rep.skipped("sweep-workers-equality", "baseline has no hotspots to optimize")
+		skipSweepChecks("baseline has no hotspots to optimize")
 		return rep, nil
 	}
 
 	// Property: the concurrent sweep engine is bit-identical to the
 	// sequential one — == on every float, not approximate equality — and a
 	// fresh flow reproduces the first flow's baseline exactly.
-	runSweep := func(workers int, keep bool) (*core.SweepResult, error) {
+	runSweep := func(workers int, keep, incremental bool) (*core.SweepResult, error) {
 		g := flow.New(gen.Design, gen.Workload, cfg)
 		defer g.Close()
 		return core.SweepEfficiency(g, core.SweepOptions{
 			Overheads:    opts.Overheads,
 			Workers:      workers,
 			KeepAnalyses: keep,
+			Incremental:  incremental,
 		})
 	}
-	seq, err := runSweep(1, true)
+	seq, err := runSweep(1, true, false)
 	if err != nil {
 		if strings.Contains(err.Error(), "no detectable hotspots") {
-			rep.skipped("sweep-workers-equality", "sweep found no hotspots")
+			skipSweepChecks("sweep found no hotspots")
 			return rep, nil
 		}
 		return rep, fmt.Errorf("harness: %s: sequential sweep: %w", gen.Scenario, err)
@@ -269,7 +306,7 @@ func Run(sc bench.Scenario, opts Options) (*Report, error) {
 	}
 	rep.pass("fresh-flow-reproducibility", fmt.Sprintf("baseline peak rise %.6f C reproduced", base.PeakRise()))
 
-	con, err := runSweep(opts.Workers, false)
+	con, err := runSweep(opts.Workers, false, false)
 	if err != nil {
 		return rep, fmt.Errorf("harness: %s: concurrent sweep (workers=%d): %w", gen.Scenario, opts.Workers, err)
 	}
@@ -277,6 +314,18 @@ func Run(sc bench.Scenario, opts Options) (*Report, error) {
 		return rep, fmt.Errorf("harness: %s: workers=1 vs workers=%d: %w", gen.Scenario, opts.Workers, err)
 	}
 	rep.pass("sweep-workers-equality", fmt.Sprintf("%d points bit-identical at workers=%d", len(seq.Points), opts.Workers))
+
+	// Property: the incremental analysis pipeline — Default points
+	// reflowed from the cached baseline, power reports updated through
+	// placement deltas — is bit-identical to the from-scratch sweep.
+	inc, err := runSweep(opts.Workers, false, true)
+	if err != nil {
+		return rep, fmt.Errorf("harness: %s: incremental sweep: %w", gen.Scenario, err)
+	}
+	if err := compareSweeps(seq, inc); err != nil {
+		return rep, fmt.Errorf("harness: %s: incremental vs from-scratch: %w", gen.Scenario, err)
+	}
+	rep.pass("sweep-incremental-equality", fmt.Sprintf("%d points bit-identical incrementally", len(inc.Points)))
 
 	// Property: every placement the sweep produced is legal.
 	validated := 0

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"thermplace/internal/bench"
@@ -95,5 +96,32 @@ func TestHarnessRejectsBadScenario(t *testing.T) {
 	}
 	if _, err := Run(bench.Scenario{Family: bench.FamilyManyUnits, TargetCells: 50}, Options{}); err == nil {
 		t.Fatal("absurd target cell count must fail")
+	}
+}
+
+// TestHarnessFailsOnCorruptedSolver proves the harness cannot silently
+// pass: a deliberately biased thermal result must trip the
+// cross-implementation checks.
+func TestHarnessFailsOnCorruptedSolver(t *testing.T) {
+	sc := bench.Scenario{Family: bench.FamilyPaperSynth9, Seed: 5, TargetCells: 1500}
+	_, err := Run(sc, Options{InjectThermalBiasC: 0.25, SkipSweep: true, SkipDeterminism: true})
+	if err == nil {
+		t.Fatal("harness passed with a corrupted thermal solver")
+	}
+	if !strings.Contains(err.Error(), "warm vs cold") {
+		t.Fatalf("corrupted solver tripped the wrong check: %v", err)
+	}
+}
+
+// TestHarnessFailsOnCorruptedPlacement proves the legality check bites: a
+// cell knocked off the site grid must fail the run.
+func TestHarnessFailsOnCorruptedPlacement(t *testing.T) {
+	sc := bench.Scenario{Family: bench.FamilyPaperSynth9, Seed: 5, TargetCells: 1500}
+	_, err := Run(sc, Options{CorruptPlacement: true, SkipSweep: true, SkipDeterminism: true})
+	if err == nil {
+		t.Fatal("harness passed with an illegal placement")
+	}
+	if !strings.Contains(err.Error(), "placement invalid") {
+		t.Fatalf("corrupted placement tripped the wrong check: %v", err)
 	}
 }

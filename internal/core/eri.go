@@ -36,13 +36,31 @@ func DefaultERIOptions(rows int) ERIOptions { return ERIOptions{Rows: rows, Inte
 // number of placement rows each hotspot spans. The transform never modifies
 // its input; it returns a new placement with its own stretched floorplan.
 func EmptyRowInsertion(p *place.Placement, spots []hotspot.Hotspot, opts ERIOptions) (*place.Placement, error) {
+	out, _, err := emptyRowInsertion(p, spots, opts, false)
+	return out, err
+}
+
+// EmptyRowInsertionDelta is EmptyRowInsertion with change tracking: it
+// additionally returns the place.Delta between the input placement and the
+// stretched result — the cells the row shift displaced (plus anything the
+// legalizer touched), their old and new rows, and the nets those moves
+// dirtied. The delta is what lets the incremental sweep re-evaluate only
+// the affected part of the power report for an ERI point.
+func EmptyRowInsertionDelta(p *place.Placement, spots []hotspot.Hotspot, opts ERIOptions) (*place.Placement, *place.Delta, error) {
+	return emptyRowInsertion(p, spots, opts, true)
+}
+
+func emptyRowInsertion(p *place.Placement, spots []hotspot.Hotspot, opts ERIOptions, record bool) (*place.Placement, *place.Delta, error) {
 	if opts.Rows <= 0 {
-		return nil, fmt.Errorf("core: ERI needs a positive row count, got %d", opts.Rows)
+		return nil, nil, fmt.Errorf("core: ERI needs a positive row count, got %d", opts.Rows)
 	}
 	if len(spots) == 0 {
-		return nil, fmt.Errorf("core: ERI needs at least one hotspot")
+		return nil, nil, fmt.Errorf("core: ERI needs at least one hotspot")
 	}
 	out := p.Clone()
+	if record {
+		out.BeginDelta()
+	}
 	fp := out.FP
 
 	// Row span of each hotspot in the original floorplan.
@@ -106,7 +124,7 @@ func EmptyRowInsertion(p *place.Placement, spots []hotspot.Hotspot, opts ERIOpti
 	// valid.
 	for i := len(insertions) - 1; i >= 0; i-- {
 		if err := fp.InsertRows(insertions[i], 1); err != nil {
-			return nil, fmt.Errorf("core: ERI: %w", err)
+			return nil, nil, fmt.Errorf("core: ERI: %w", err)
 		}
 	}
 
@@ -136,7 +154,10 @@ func EmptyRowInsertion(p *place.Placement, spots []hotspot.Hotspot, opts ERIOpti
 
 	place.Legalize(out)
 	place.InsertFillers(out)
-	return out, nil
+	if !record {
+		return out, nil, nil
+	}
+	return out, out.EndDelta(), nil
 }
 
 // AreaOverheadForRows returns the fractional core-area overhead caused by

@@ -59,10 +59,23 @@ type SweepOptions struct {
 	KeepAnalyses bool
 	// Workers bounds how many sweep points are evaluated concurrently.
 	// Zero picks GOMAXPROCS; 1 evaluates the points sequentially in order.
-	// Every point is a pure function of the baseline analysis (thermal
-	// warm starts are seeded from the baseline field, not chained point to
-	// point), so the sweep output is bit-identical for every worker count.
+	// Every point is a pure function of its declared lineage (thermal warm
+	// starts are seeded from the parent's field: the baseline for Default
+	// and ERI points, the same-overhead Default point for HW points — a
+	// chain that lives entirely inside one task), so the sweep output is
+	// bit-identical for every worker count.
 	Workers int
+	// Incremental derives each Default point's placement from the cached
+	// baseline (flow.ReflowAt instead of a from-scratch PlaceAt) and
+	// re-estimates power through the placement deltas the transforms
+	// report (power.Report.Update instead of a full re-estimate). The
+	// derived placements and updated reports are bit-identical to the
+	// from-scratch ones, so the sweep output is == either way; any
+	// incremental-path failure falls back to the from-scratch pipeline for
+	// that point. Combine with flow.Config.PowerDeltaGateW to additionally
+	// skip thermal solves whose power map barely moved (an approximation —
+	// see the gate's documentation).
+	Incremental bool
 }
 
 // DefaultSweepOptions reproduces the x-axis range of the paper's Figure 6:
@@ -186,10 +199,16 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 	var tasks []func() error
 
 	// One task per overhead: the Default point, then the HW point that
-	// pipelines behind it. Only what the HW pass needs survives the Default
-	// analysis — its hotspot rise map, placement and power report — so the
-	// thermal result and power map of every Default point are released as
-	// soon as the point is recorded (unless KeepAnalyses asks for them).
+	// pipelines behind it. Lineage is threaded explicitly: the Default
+	// point declares the baseline as its parent and the HW point declares
+	// its same-overhead Default point, so every thermal solve warm-starts
+	// from the nearest previously solved field — a chain that lives
+	// entirely inside this task, which is what keeps the sweep output
+	// independent of worker count. With opts.Incremental the Default
+	// placement reflows from the cached baseline and the HW power report
+	// updates through the wrapper's delta instead of re-running the full
+	// pipeline (bit-identical either way; errors fall back to the
+	// from-scratch path for that point).
 	if wantDefault || wantHW {
 		defaults = make([]*EfficiencyPoint, len(opts.Overheads))
 		hws = make([]*EfficiencyPoint, len(opts.Overheads))
@@ -197,11 +216,21 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 			i, ov := i, ov
 			tasks = append(tasks, func() error {
 				util := baseUtil / (1 + ov)
-				p, err := f.PlaceAt(util)
-				if err != nil {
-					return fmt.Errorf("core: default point %+v: %w", ov, err)
+				var p *place.Placement
+				var delta *place.Delta
+				if opts.Incremental {
+					if rp, rd, rerr := f.ReflowAt(util); rerr == nil {
+						p, delta = rp, rd
+					}
 				}
-				an, err := f.Analyze(p)
+				if p == nil {
+					var err error
+					p, err = f.PlaceAt(util)
+					if err != nil {
+						return fmt.Errorf("core: default point %+v: %w", ov, err)
+					}
+				}
+				an, err := f.AnalyzeWith(p, flow.AnalyzeOptions{Parent: baseline, Delta: delta})
 				if err != nil {
 					return fmt.Errorf("core: default point %+v: %w", ov, err)
 				}
@@ -223,13 +252,20 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 				// the source of each hotspot rather than the whole warm
 				// area around them.
 				spots := hotspot.Detect(an.Thermal.RiseMap(), detect)
-				defPl, defPow := an.Placement, an.Power
-				if !opts.KeepAnalyses {
-					an = nil // release the thermal layers and power map early
+				if !opts.KeepAnalyses && f.Config.PowerDeltaGateW <= 0 {
+					// Nothing downstream needs the Default point's thermal
+					// layers or power map (the HW child only consumes the
+					// placement, power report, hotspots and seed state), so
+					// release them before the wrapper + solve instead of
+					// pinning them for the rest of the task. A positive gate
+					// keeps them: the child compares against the parent's
+					// power map and may reuse its thermal result.
+					an.ReleaseHeavy()
 				}
 				if len(spots) == 0 {
 					return nil
 				}
+				defPow := an.Power
 				wopts := opts.Wrapper
 				if wopts.PowerOf == nil {
 					wopts.PowerOf = func(inst *netlist.Instance) float64 { return defPow.InstancePower(inst) }
@@ -237,11 +273,18 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 				if wopts.HotCellFactor == 0 {
 					wopts.HotCellFactor = 1.0
 				}
-				hp, err := HotspotWrapper(defPl, spots, wopts)
+				var hp *place.Placement
+				var hdelta *place.Delta
+				if opts.Incremental {
+					hp, hdelta, err = HotspotWrapperDelta(an.Placement, spots, wopts)
+				} else {
+					// From-scratch path: skip the delta recording, too.
+					hp, err = HotspotWrapper(an.Placement, spots, wopts)
+				}
 				if err != nil {
 					return fmt.Errorf("core: HW at overhead %.2f: %w", ov, err)
 				}
-				han, err := f.Analyze(hp)
+				han, err := f.AnalyzeWith(hp, flow.AnalyzeOptions{Parent: an, Delta: hdelta})
 				if err != nil {
 					return fmt.Errorf("core: HW at overhead %.2f: %w", ov, err)
 				}
@@ -258,15 +301,24 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 	}
 
 	// One task per ERI point: empty rows inserted at the baseline's
-	// hotspots.
+	// hotspots, analyzed against the baseline as lineage parent (and
+	// through the insertion's delta when incremental).
 	for j, rows := range rowCounts {
 		j, rows := j, rows
 		tasks = append(tasks, func() error {
-			p, err := EmptyRowInsertion(baseline.Placement, baseline.Hotspots, DefaultERIOptions(rows))
+			var p *place.Placement
+			var delta *place.Delta
+			var err error
+			if opts.Incremental {
+				p, delta, err = EmptyRowInsertionDelta(baseline.Placement, baseline.Hotspots, DefaultERIOptions(rows))
+			} else {
+				// From-scratch path: skip the delta recording, too.
+				p, err = EmptyRowInsertion(baseline.Placement, baseline.Hotspots, DefaultERIOptions(rows))
+			}
 			if err != nil {
 				return fmt.Errorf("core: ERI %d rows: %w", rows, err)
 			}
-			an, err := f.Analyze(p)
+			an, err := f.AnalyzeWith(p, flow.AnalyzeOptions{Parent: baseline, Delta: delta})
 			if err != nil {
 				return fmt.Errorf("core: ERI %d rows: %w", rows, err)
 			}

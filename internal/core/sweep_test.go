@@ -188,3 +188,113 @@ func TestSweepConcurrentErrorPropagation(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepIncrementalBitIdentical is the engine-level half of the
+// incremental pipeline's guarantee: a sweep whose Default points reflow
+// from the cached baseline and whose power reports update through
+// placement deltas must be == (on every float) to the from-scratch sweep,
+// sequentially and concurrently.
+func TestSweepIncrementalBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-sweep comparison skipped in -short mode")
+	}
+	run := func(incremental bool, workers int) *SweepResult {
+		f := hotFlow(t, "mult8")
+		defer f.Close()
+		res, err := SweepEfficiency(f, SweepOptions{
+			Overheads:   []float64{0.15, 0.3},
+			Workers:     workers,
+			Incremental: incremental,
+		})
+		if err != nil {
+			t.Fatalf("incremental=%v workers=%d: %v", incremental, workers, err)
+		}
+		return res
+	}
+	ref := run(false, 1)
+	comparePoints(t, "incremental sequential", ref, run(true, 1))
+	comparePoints(t, "incremental concurrent", ref, run(true, 4))
+}
+
+// TestSweepIncrementalWithGateStaysClose opts into the power-delta
+// approximation gate on top of the incremental sweep and checks the results
+// stay within the gate's expected influence (the gate only ever skips
+// solves whose inputs barely moved).
+func TestSweepIncrementalWithGateStaysClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-sweep comparison skipped in -short mode")
+	}
+	f := hotFlow(t, "mult8")
+	defer f.Close()
+	f.Config.PowerDeltaGateW = 1e-9
+	res, err := SweepEfficiency(f, SweepOptions{
+		Overheads:   []float64{0.2},
+		Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := hotFlow(t, "mult8")
+	defer g.Close()
+	ref, err := SweepEfficiency(g, SweepOptions{Overheads: []float64{0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(ref.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(res.Points), len(ref.Points))
+	}
+	for i := range res.Points {
+		a, b := res.Points[i], ref.Points[i]
+		if d := a.PeakRise - b.PeakRise; d > 1e-3 || d < -1e-3 {
+			t.Fatalf("gated point %d drifted %v C from the exact sweep", i, d)
+		}
+	}
+}
+
+// TestERIDeltaComposesWithDefaultDelta follows the incremental lineage one
+// step further than the sweep does: a Default point reflowed from the
+// baseline (full delta) with an ERI insertion stacked on top (sparse
+// delta). The merged baseline→ERI delta must be full — the reflow moved
+// everything — and updating the baseline power report across it must equal
+// a from-scratch estimate of the final placement bit for bit.
+func TestERIDeltaComposesWithDefaultDelta(t *testing.T) {
+	f := hotFlow(t, "mult8")
+	defer f.Close()
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defPl, d1, err := f.ReflowAt(f.Config.Utilization / 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defAn, err := f.AnalyzeWith(defPl, flow.AnalyzeOptions{Parent: base, Delta: d1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defAn.Hotspots) == 0 {
+		t.Skip("relaxed placement has no hotspots to target")
+	}
+	eriPl, d2, err := EmptyRowInsertionDelta(defPl, defAn.Hotspots, DefaultERIOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Empty() || d2.IsFull() {
+		t.Fatalf("ERI delta should be surgical, got full=%v empty=%v", d2.IsFull(), d2.Empty())
+	}
+	merged := d1.Merge(d2)
+	if !merged.IsFull() {
+		t.Fatal("full Default delta composed with ERI delta must stay full")
+	}
+	// Updating across the merged (full) delta falls back to the full pass
+	// and must equal a fresh estimate; updating the Default report across
+	// just the ERI delta must too.
+	eriAn, err := f.AnalyzeWith(eriPl, flow.AnalyzeOptions{Parent: defAn, Delta: d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMerged := base.Power.Update(eriPl, merged)
+	if got, want := fromMerged.Total(), eriAn.Power.Total(); got != want {
+		t.Fatalf("merged-delta power %v != delta-updated power %v", got, want)
+	}
+}

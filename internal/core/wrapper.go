@@ -51,11 +51,27 @@ func DefaultWrapperOptions(powerOf func(*netlist.Instance) float64) WrapperOptio
 //
 // The transform never modifies its input placement.
 func HotspotWrapper(p *place.Placement, spots []hotspot.Hotspot, opts WrapperOptions) (*place.Placement, error) {
+	out, _, err := hotspotWrapper(p, spots, opts, false)
+	return out, err
+}
+
+// HotspotWrapperDelta is HotspotWrapper with change tracking: it
+// additionally returns the place.Delta between the input placement and the
+// wrapped result — the hot cells that were spread, the bystanders that were
+// pushed out, whatever the legalizer then touched, and the nets those moves
+// dirtied. Wrapping is a local edit, so the delta is typically small and
+// the incremental sweep re-estimates only a fraction of the power report
+// for an HW point.
+func HotspotWrapperDelta(p *place.Placement, spots []hotspot.Hotspot, opts WrapperOptions) (*place.Placement, *place.Delta, error) {
+	return hotspotWrapper(p, spots, opts, true)
+}
+
+func hotspotWrapper(p *place.Placement, spots []hotspot.Hotspot, opts WrapperOptions, record bool) (*place.Placement, *place.Delta, error) {
 	if opts.PowerOf == nil {
-		return nil, fmt.Errorf("core: wrapper needs a PowerOf function")
+		return nil, nil, fmt.Errorf("core: wrapper needs a PowerOf function")
 	}
 	if len(spots) == 0 {
-		return nil, fmt.Errorf("core: wrapper needs at least one hotspot")
+		return nil, nil, fmt.Errorf("core: wrapper needs at least one hotspot")
 	}
 	if opts.RingWidth <= 0 {
 		opts.RingWidth = 2 * p.FP.RowHeight
@@ -76,6 +92,9 @@ func HotspotWrapper(p *place.Placement, spots []hotspot.Hotspot, opts WrapperOpt
 	}
 
 	out := p.Clone()
+	if record {
+		out.BeginDelta()
+	}
 	core := out.FP.Core
 
 	for _, h := range spots {
@@ -210,5 +229,8 @@ func HotspotWrapper(p *place.Placement, spots []hotspot.Hotspot, opts WrapperOpt
 
 	place.Legalize(out)
 	place.InsertFillers(out)
-	return out, nil
+	if !record {
+		return out, nil, nil
+	}
+	return out, out.EndDelta(), nil
 }

@@ -52,6 +52,11 @@ type Floorplan struct {
 	SiteWidth float64
 	// Utilization is the target utilization the floorplan was built for.
 	Utilization float64
+	// AspectRatio is the target core aspect ratio (height / width) the
+	// floorplan was built for, before row/site snapping. Derived floorplans
+	// (place.Placement.Reflow) rebuild at a new utilization with this same
+	// target, so they match a from-scratch floorplan bit for bit.
+	AspectRatio float64
 	// Rows are the placement rows from bottom to top.
 	Rows []Row
 	// Regions maps unit name to its assigned region.
@@ -108,6 +113,7 @@ func New(d *netlist.Design, cfg Config) (*Floorplan, error) {
 		RowHeight:   lib.RowHeight,
 		SiteWidth:   lib.SiteWidth,
 		Utilization: cfg.Utilization,
+		AspectRatio: cfg.AspectRatio,
 		Regions:     make(map[string]*Region),
 	}
 	fp.rebuildRows(nRows)
@@ -197,6 +203,7 @@ func (fp *Floorplan) Clone() *Floorplan {
 		RowHeight:   fp.RowHeight,
 		SiteWidth:   fp.SiteWidth,
 		Utilization: fp.Utilization,
+		AspectRatio: fp.AspectRatio,
 		Rows:        append([]Row(nil), fp.Rows...),
 		Regions:     make(map[string]*Region, len(fp.Regions)),
 	}

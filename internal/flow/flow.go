@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"thermplace/internal/bench"
 	"thermplace/internal/floorplan"
@@ -42,6 +43,18 @@ type Config struct {
 	Thermal thermal.Config
 	// HotspotOptions tunes hotspot detection on the resulting thermal map.
 	HotspotOptions hotspot.Options
+	// PowerDeltaGateW, when positive, lets a delta-driven analysis
+	// (AnalyzeWith with both a Parent and a Delta — the incremental sweep
+	// path; lineage-only analyses stay exact) skip the thermal solve
+	// entirely when the
+	// L∞ difference between its power map and its parent's — same grid,
+	// same die region — stays below the gate, in watts per grid cell; the
+	// parent's thermal result and hotspots are reused. This is an explicit
+	// approximation knob: a skipped solve returns the parent's field
+	// rather than the (near-identical) re-solved one, so sweeps run with a
+	// positive gate trade the bit-identity guarantee for skipped solves.
+	// Zero (the default) never skips.
+	PowerDeltaGateW float64
 }
 
 // DefaultConfig returns the configuration used by the paper-scale
@@ -118,12 +131,54 @@ type Flow struct {
 	baseline    *place.Placement
 	baselineKey placementKey
 
+	// est is the power estimator bound to the cached activity and the
+	// clock it was built for (placement-independent model terms).
+	est      *power.Estimator
+	estClock float64
+
+	// baseAn caches the baseline analysis, so repeated AnalyzeBaseline
+	// calls (every sweep starts with one) and the zero-delta Reflow no-op
+	// return the same *Analysis instead of re-running the pipeline.
+	baseAn        *Analysis
+	baseAnKey     analysisKey
+	baseAnThermal thermal.Config
+
 	// solvers holds the idle pooled thermal solvers for solverCfg; seed is
-	// the temperature field of the first completed fast-path solve, copied
-	// into every pooled solver before each subsequent solve.
-	solvers   []*thermal.Solver
+	// the temperature field of the first completed fast-path solve (tagged
+	// seedID), the default warm start for analyses without a lineage
+	// parent. Each pooled solver remembers which analysis' field it holds
+	// (stateID), so a child solve seeded from the analysis its solver just
+	// produced skips the seed copy.
+	solvers   []pooledSolver
 	solverCfg thermal.Config
 	seed      []float64
+	seedID    uint64
+
+	// stateSeq tags solved temperature fields; gateSkips counts thermal
+	// solves skipped by the power-delta gate.
+	stateSeq  atomic.Uint64
+	gateSkips atomic.Uint64
+}
+
+// pooledSolver pairs a pooled thermal solver with the identity of the
+// temperature field it currently holds.
+type pooledSolver struct {
+	s       *thermal.Solver
+	stateID uint64
+}
+
+// analysisKey captures the comparable Config knobs that shape a baseline
+// analysis (the thermal config is snapshotted and compared separately —
+// its layer stack is a slice).
+type analysisKey struct {
+	pk    placementKey
+	clock float64
+	hs    hotspot.Options
+	gate  float64
+}
+
+func (f *Flow) analysisKey() analysisKey {
+	return analysisKey{pk: f.placementKey(), clock: f.Config.ClockHz, hs: f.Config.HotspotOptions, gate: f.Config.PowerDeltaGateW}
 }
 
 // New creates a flow for the design under the given workload.
@@ -210,95 +265,139 @@ func (f *Flow) placementKey() placementKey {
 	return placementKey{util: f.Config.Utilization, aspect: f.Config.AspectRatio, refine: f.Config.RefinePasses}
 }
 
+// lineageSeed is a warm-start temperature field tagged with the identity
+// of the analysis that produced it.
+type lineageSeed struct {
+	field []float64
+	id    uint64
+}
+
 // thermalSolve routes the analysis through a pooled structured-grid solver
 // when the configuration allows it, falling back to thermal.Solve for
 // oracle/non-CG configurations. Each concurrent caller checks out its own
 // solver (growing the pool on demand) and every solve after the first is
-// warm-started from the recorded first-solve temperature field, so the
-// result of a solve depends only on its own inputs — not on which pooled
-// solver ran it or what that solver computed before. The pool is
-// invalidated when the thermal configuration changes.
-func (f *Flow) thermalSolve(pm *geom.Grid, tcfg thermal.Config) (*thermal.Result, error) {
+// warm-started from a fixed seed — the caller's lineage parent when given,
+// the recorded first-solve (baseline) field otherwise — so the result of a
+// solve depends only on its own inputs, not on which pooled solver ran it
+// or what that solver computed before. The pool is LIFO and every solver
+// remembers which analysis' field it holds, so a Default→HW task chain
+// typically checks out the solver that just produced its parent's field
+// and skips the seed copy. The pool is invalidated when the thermal
+// configuration changes.
+//
+// On success it returns the solved temperature field (a copy, in solver
+// node order) and its identity tag, for the caller to hand to child
+// analyses as their lineage seed.
+func (f *Flow) thermalSolve(pm *geom.Grid, tcfg thermal.Config, seed *lineageSeed) (*thermal.Result, []float64, uint64, error) {
 	if !tcfg.FastPath() {
-		return thermal.Solve(pm, tcfg)
+		res, err := thermal.Solve(pm, tcfg)
+		return res, nil, 0, err
 	}
-	s, seed, err := f.acquireSolver(tcfg)
+	ps, defSeed, err := f.acquireSolver(tcfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
-	if seed != nil {
-		if err := s.SeedState(seed); err != nil {
-			return nil, err
+	if seed == nil {
+		seed = defSeed
+	}
+	if seed != nil && (seed.id == 0 || seed.id != ps.stateID) {
+		if err := ps.s.SeedState(seed.field); err != nil {
+			return nil, nil, 0, err
 		}
+		ps.stateID = seed.id
 	}
-	res, err := s.Solve(pm)
+	res, err := ps.s.Solve(pm)
+	var state []float64
+	var stateID uint64
+	if err == nil {
+		state = ps.s.State()
+		stateID = f.stateSeq.Add(1)
+		ps.stateID = stateID
+	} else {
+		ps.stateID = 0
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if !f.solverCfg.Equal(tcfg) {
 		// The configuration changed while we were solving; this solver's
 		// pool is gone. Drop the solver rather than re-pooling it.
-		s.Close()
-		return res, err
+		ps.s.Close()
+		return res, state, stateID, err
 	}
 	if err == nil && f.seed == nil {
-		f.seed = s.State()
+		f.seed = state
+		f.seedID = stateID
 	}
-	f.solvers = append(f.solvers, s)
-	return res, err
+	f.solvers = append(f.solvers, ps)
+	return res, state, stateID, err
 }
 
 // acquireSolver checks a solver for tcfg out of the pool, rebuilding the
-// pool when the thermal configuration changed, and returns the warm-start
-// seed to load (nil on the very first solve). Solver construction (stencil,
-// multigrid hierarchy, Cholesky buffer) happens outside the flow mutex so
-// concurrent pool growth does not serialize the other workers.
-func (f *Flow) acquireSolver(tcfg thermal.Config) (*thermal.Solver, []float64, error) {
+// pool when the thermal configuration changed, and returns the default
+// warm-start seed (nil before the first completed solve). Solver
+// construction (stencil, multigrid hierarchy, Cholesky buffer) happens
+// outside the flow mutex so concurrent pool growth does not serialize the
+// other workers.
+func (f *Flow) acquireSolver(tcfg thermal.Config) (pooledSolver, *lineageSeed, error) {
 	f.mu.Lock()
 	if !f.solverCfg.Equal(tcfg) {
-		for _, s := range f.solvers {
-			s.Close()
+		for _, ps := range f.solvers {
+			ps.s.Close()
 		}
 		f.solvers = nil
 		f.seed = nil
+		f.seedID = 0
 		f.solverCfg = tcfg
 		// Snapshot the stack: tcfg.Stack aliases the caller's slice, and
 		// Equal must detect in-place layer mutations against the state the
 		// solvers were actually built from.
 		f.solverCfg.Stack = append(thermal.Stack(nil), tcfg.Stack...)
 	}
-	seed := f.seed
+	seed := f.defaultSeedLocked()
 	if n := len(f.solvers); n > 0 {
-		s := f.solvers[n-1]
+		ps := f.solvers[n-1]
 		f.solvers = f.solvers[:n-1]
 		f.mu.Unlock()
-		return s, seed, nil
+		return ps, seed, nil
 	}
 	f.mu.Unlock()
 
 	s, err := thermal.NewSolver(tcfg)
 	if err != nil {
-		return nil, nil, err
+		return pooledSolver{}, nil, err
 	}
 	// Re-read the seed: another worker may have published it while this
 	// solver was being built.
 	f.mu.Lock()
 	if f.solverCfg.Equal(tcfg) {
-		seed = f.seed
+		seed = f.defaultSeedLocked()
 	}
 	f.mu.Unlock()
-	return s, seed, nil
+	return pooledSolver{s: s}, seed, nil
 }
+
+func (f *Flow) defaultSeedLocked() *lineageSeed {
+	if f.seed == nil {
+		return nil
+	}
+	return &lineageSeed{field: f.seed, id: f.seedID}
+}
+
+// GateSkips returns how many thermal solves the power-delta gate
+// (Config.PowerDeltaGateW) has skipped over the flow's lifetime.
+func (f *Flow) GateSkips() int { return int(f.gateSkips.Load()) }
 
 // Close releases the worker pools of the pooled thermal solvers. The flow
 // remains usable; solvers created afterwards build fresh pools.
 func (f *Flow) Close() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for _, s := range f.solvers {
-		s.Close()
+	for _, ps := range f.solvers {
+		ps.s.Close()
 	}
 	f.solvers = nil
 	f.seed = nil
+	f.seedID = 0
 	f.solverCfg = thermal.Config{}
 }
 
@@ -309,14 +408,42 @@ type Analysis struct {
 	// PowerMap is the power per thermal-grid cell in watts (the paper's
 	// power profile, Figure 5 left).
 	PowerMap *geom.Grid
-	// Thermal is the solved thermal result (Figure 5 right).
+	// Thermal is the solved thermal result (Figure 5 right). When the
+	// power-delta gate skipped the solve, it is shared with the parent
+	// analysis; treat it as read-only.
 	Thermal *thermal.Result
 	// Hotspots are the detected hot regions, hottest first.
 	Hotspots []hotspot.Hotspot
+
+	// state is the full solved temperature field (solver node order,
+	// including the layers SurfaceOnly omits from Thermal), the warm-start
+	// seed a lineage child's solve starts from; stateID identifies it for
+	// the pooled-solver seed-copy skip. Nil/0 when the solve ran outside
+	// the structured-grid fast path.
+	state   []float64
+	stateID uint64
 }
 
 // PeakRise returns the peak temperature rise above ambient in kelvin.
 func (a *Analysis) PeakRise() float64 { return a.Thermal.PeakRise }
+
+// AnalyzeOptions parameterizes a lineage-aware analysis.
+type AnalyzeOptions struct {
+	// Parent is the analysis the placement derives from (the baseline for
+	// a Default or ERI sweep point, the Default point for the HW point
+	// stacked on it). The thermal solve warm-starts from the parent's
+	// solved field instead of the baseline's, and the power-delta gate
+	// (Config.PowerDeltaGateW) compares power maps against the parent's.
+	// Nil analyzes the placement standalone (baseline-seeded).
+	Parent *Analysis
+	// Delta describes how the placement differs from Parent.Placement, as
+	// produced by place.Reflow, core.EmptyRowInsertionDelta or
+	// core.HotspotWrapperDelta. A sparse delta routes power estimation
+	// through Report.Update (re-evaluating only the dirty nets); a full or
+	// nil delta re-estimates from scratch. An empty delta on the parent's
+	// own placement returns the parent analysis unchanged.
+	Delta *place.Delta
+}
 
 // Analyze runs power estimation and thermal simulation on the placement and
 // localizes the hotspots of the resulting thermal map.
@@ -327,14 +454,63 @@ func (a *Analysis) PeakRise() float64 { return a.Thermal.PeakRise }
 // analyzed once (which warms the cache — the baseline in a sweep is exactly
 // that case). Distinct placements need no coordination.
 func (f *Flow) Analyze(p *place.Placement) (*Analysis, error) {
-	act, err := f.Activity()
+	return f.AnalyzeWith(p, AnalyzeOptions{})
+}
+
+// AnalyzeWith is Analyze with explicit lineage: the delta-driven analysis
+// path of the incremental sweep. With a zero AnalyzeOptions it is exactly
+// Analyze. With a parent and a delta it re-estimates power only where the
+// delta is dirty, warm-starts the thermal solve from the parent's field,
+// and (with a positive Config.PowerDeltaGateW) skips the solve outright
+// when the power map moved less than the gate. Every path yields the same
+// values as the from-scratch pipeline — bit-identical, except under a
+// positive gate, which is documented as an approximation.
+func (f *Flow) AnalyzeWith(p *place.Placement, opts AnalyzeOptions) (*Analysis, error) {
+	if par := opts.Parent; par != nil && opts.Delta != nil && opts.Delta.Empty() && par.Placement == p {
+		// Zero-delta no-op: the parent already measured this placement.
+		return par, nil
+	}
+	est, err := f.estimator()
 	if err != nil {
 		return nil, err
 	}
-	rep := power.Estimate(f.Design, p, act, f.Config.ClockHz)
+	var rep *power.Report
+	if par := opts.Parent; par != nil && opts.Delta != nil && !opts.Delta.IsFull() && par.Power != nil {
+		rep = par.Power.Update(p, opts.Delta)
+	} else {
+		rep = est.Report(p)
+	}
 	tcfg := f.Config.Thermal
 	pm := power.Map(rep, p, tcfg.NX, tcfg.NY)
-	tres, err := f.thermalSolve(pm, tcfg)
+
+	// The gate only arms on the delta-driven path (opts.Delta != nil, i.e.
+	// an incremental sweep): a lineage-seeded but delta-less analysis is
+	// the from-scratch pipeline and must stay exact even when the flow
+	// carries a positive gate for its incremental runs.
+	if par := opts.Parent; par != nil && opts.Delta != nil && f.Config.PowerDeltaGateW > 0 &&
+		par.Thermal != nil && par.state != nil && par.PowerMap != nil &&
+		par.PowerMap.NX == pm.NX && par.PowerMap.NY == pm.NY &&
+		par.PowerMap.Region == pm.Region &&
+		linfDiff(pm, par.PowerMap) <= f.Config.PowerDeltaGateW {
+		// The power profile barely moved on the same grid geometry: the
+		// parent's thermal field is (within the gate) this point's field.
+		f.gateSkips.Add(1)
+		return &Analysis{
+			Placement: p,
+			Power:     rep,
+			PowerMap:  pm,
+			Thermal:   par.Thermal,
+			Hotspots:  par.Hotspots,
+			state:     par.state,
+			stateID:   par.stateID,
+		}, nil
+	}
+
+	var seed *lineageSeed
+	if par := opts.Parent; par != nil && par.state != nil {
+		seed = &lineageSeed{field: par.state, id: par.stateID}
+	}
+	tres, state, stateID, err := f.thermalSolve(pm, tcfg, seed)
 	if err != nil {
 		return nil, fmt.Errorf("flow: thermal simulation: %w", err)
 	}
@@ -345,15 +521,110 @@ func (f *Flow) Analyze(p *place.Placement) (*Analysis, error) {
 		PowerMap:  pm,
 		Thermal:   tres,
 		Hotspots:  spots,
+		state:     state,
+		stateID:   stateID,
 	}, nil
 }
 
-// AnalyzeBaseline is a convenience wrapper: place at the baseline
-// utilization and analyze the result.
+// estimator returns the cached power estimator for the flow's activity and
+// clock, building it on first use.
+func (f *Flow) estimator() (*power.Estimator, error) {
+	act, err := f.Activity()
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.est == nil || f.estClock != f.Config.ClockHz {
+		f.est = power.NewEstimator(f.Design, act, f.Config.ClockHz)
+		f.estClock = f.Config.ClockHz
+	}
+	return f.est, nil
+}
+
+// linfDiff returns the largest absolute per-cell difference between two
+// equally sized grids.
+func linfDiff(a, b *geom.Grid) float64 {
+	av, bv := a.Values(), b.Values()
+	d := 0.0
+	for i, v := range av {
+		x := v - bv[i]
+		if x < 0 {
+			x = -x
+		}
+		if x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// AnalyzeBaseline places the design at the baseline utilization and
+// analyzes the result, caching the analysis: every sweep and experiment
+// measures against this same compact placement, and the incremental path's
+// zero-delta no-op returns it directly. The cached analysis is shared;
+// callers must treat it as read-only.
 func (f *Flow) AnalyzeBaseline() (*Analysis, error) {
 	p, err := f.Baseline()
 	if err != nil {
 		return nil, err
 	}
-	return f.Analyze(p)
+	f.mu.Lock()
+	key := f.analysisKey()
+	if f.baseAn != nil && f.baseAnKey == key && f.baseAn.Placement == p &&
+		f.baseAnThermal.Equal(f.Config.Thermal) {
+		an := f.baseAn
+		f.mu.Unlock()
+		return an, nil
+	}
+	f.mu.Unlock()
+	an, err := f.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.baseAn, f.baseAnKey = an, key
+	// Snapshot the thermal config (its Stack aliases the caller's slice).
+	f.baseAnThermal = f.Config.Thermal
+	f.baseAnThermal.Stack = append(thermal.Stack(nil), f.Config.Thermal.Stack...)
+	f.mu.Unlock()
+	return an, nil
+}
+
+// ReleaseHeavy drops the analysis' thermal result and power map, keeping
+// exactly what a lineage child needs: the placement, the power report, the
+// detected hotspots and the solved-field seed. The sweep calls it on
+// Default-point analyses it will not retain, so an in-flight task does not
+// pin multi-layer grids through the HW pass. Do not call it when the
+// analysis feeds a gated child (Config.PowerDeltaGateW > 0): the gate
+// compares against the parent's power map and reuses its thermal result.
+func (an *Analysis) ReleaseHeavy() {
+	an.Thermal = nil
+	an.PowerMap = nil
+}
+
+// ReflowAt derives the placement at the given utilization from the cached
+// baseline placement (place.Placement.Reflow) instead of re-running global
+// placement, applying the same refinement and filler passes as PlaceAt so
+// the result is bit-identical to PlaceAt(utilization). At the baseline
+// utilization itself it returns the cached baseline placement with an
+// empty delta — the zero-delta no-op AnalyzeWith resolves to the cached
+// baseline analysis.
+func (f *Flow) ReflowAt(utilization float64) (*place.Placement, *place.Delta, error) {
+	base, err := f.Baseline()
+	if err != nil {
+		return nil, nil, err
+	}
+	if utilization == f.Config.Utilization {
+		return base, new(place.Delta), nil
+	}
+	p, delta, err := base.Reflow(utilization)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.Config.RefinePasses > 0 {
+		place.RefineHPWL(p, f.Config.RefinePasses)
+	}
+	place.InsertFillers(p)
+	return p, delta, nil
 }

@@ -1,0 +1,196 @@
+package flow
+
+import (
+	"testing"
+
+	"thermplace/internal/place"
+)
+
+// TestReflowAtMatchesPlaceAt requires the incremental placement path to be
+// bit-identical to the from-scratch one at sweep-typical utilizations.
+func TestReflowAtMatchesPlaceAt(t *testing.T) {
+	f := smallFlow(t)
+	defer f.Close()
+	for _, util := range []float64{0.60, 0.71, 0.92} {
+		inc, delta, err := f.ReflowAt(util)
+		if err != nil {
+			t.Fatalf("ReflowAt(%v): %v", util, err)
+		}
+		if !delta.IsFull() {
+			t.Fatalf("ReflowAt(%v): want full delta, got %+v", util, delta)
+		}
+		scratch, err := f.PlaceAt(util)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range f.Design.Instances() {
+			if inst.IsFiller() {
+				continue
+			}
+			li, iok := inc.Loc(inst)
+			ls, sok := scratch.Loc(inst)
+			if iok != sok || li != ls {
+				t.Fatalf("util %v: %s at %v/%v, want %v/%v", util, inst.Name, li, iok, ls, sok)
+			}
+		}
+		if ih, sh := inc.TotalHPWL(), scratch.TotalHPWL(); ih != sh {
+			t.Fatalf("util %v: HPWL %v vs %v", util, ih, sh)
+		}
+	}
+}
+
+// TestReflowAtZeroDeltaReturnsCachedAnalysis is the zero-delta no-op
+// contract: reflowing to the baseline utilization hands back the cached
+// baseline placement with an empty delta, and AnalyzeWith resolves that to
+// the cached baseline analysis without re-running anything.
+func TestReflowAtZeroDeltaReturnsCachedAnalysis(t *testing.T) {
+	f := smallFlow(t)
+	defer f.Close()
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, delta, err := f.ReflowAt(f.Config.Utilization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Empty() {
+		t.Fatalf("want empty delta at the baseline utilization, got %+v", delta)
+	}
+	if p != base.Placement {
+		t.Fatal("want the cached baseline placement, got a fresh one")
+	}
+	an, err := f.AnalyzeWith(p, AnalyzeOptions{Parent: base, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an != base {
+		t.Fatal("zero-delta analysis must return the cached baseline analysis")
+	}
+	// And AnalyzeBaseline itself is cached across calls.
+	again, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != base {
+		t.Fatal("AnalyzeBaseline must return the cached analysis on a second call")
+	}
+}
+
+// TestAnalyzeWithDeltaBitIdentical analyzes a derived placement through
+// the delta path (Report.Update + lineage-seeded solve) and through the
+// from-scratch path on an identical twin flow, requiring == results — the
+// flow-level half of the incremental sweep's bit-identity guarantee.
+func TestAnalyzeWithDeltaBitIdentical(t *testing.T) {
+	f := smallFlow(t)
+	defer f.Close()
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Derive an edited placement under delta recording (an ERI-style row
+	// disturbance).
+	edited := base.Placement.Clone()
+	edited.BeginDelta()
+	insts := f.Design.Instances()
+	for i := 7; i < len(insts) && i < 300; i += 23 {
+		inst := insts[i]
+		if inst.IsFiller() {
+			continue
+		}
+		l, ok := edited.Loc(inst)
+		if !ok {
+			continue
+		}
+		row := (l.Row + 2) % edited.FP.NumRows()
+		edited.SetLoc(inst, place.Loc{X: l.X, Y: edited.FP.Rows[row].Y, Row: row})
+	}
+	place.Legalize(edited)
+	place.InsertFillers(edited)
+	delta := edited.EndDelta()
+	if delta.Empty() || delta.IsFull() {
+		t.Fatalf("edit should record a surgical delta, got full=%v empty=%v", delta.IsFull(), delta.Empty())
+	}
+
+	inc, err := f.AnalyzeWith(edited, AnalyzeOptions{Parent: base, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// From-scratch reference on a fresh flow (identical config/workload),
+	// analyzed with the same lineage seeding but no delta.
+	g := New(f.Design, f.Workload, f.Config)
+	defer g.Close()
+	gbase, err := g.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := g.AnalyzeWith(edited.Clone(), AnalyzeOptions{Parent: gbase})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if inc.Power.Total() != ref.Power.Total() {
+		t.Fatalf("power differs: %v vs %v", inc.Power.Total(), ref.Power.Total())
+	}
+	iv, rv := inc.PowerMap.Values(), ref.PowerMap.Values()
+	for i := range iv {
+		if iv[i] != rv[i] {
+			t.Fatalf("power map differs at cell %d: %v vs %v", i, iv[i], rv[i])
+		}
+	}
+	if inc.Thermal.PeakRise != ref.Thermal.PeakRise {
+		t.Fatalf("peak rise differs: %v vs %v", inc.Thermal.PeakRise, ref.Thermal.PeakRise)
+	}
+	it, rt := inc.Thermal.Surface.Values(), ref.Thermal.Surface.Values()
+	for i := range it {
+		if it[i] != rt[i] {
+			t.Fatalf("thermal map differs at cell %d: %v vs %v", i, it[i], rt[i])
+		}
+	}
+}
+
+// TestPowerDeltaGateSkipsSolves opts into the approximation gate and
+// verifies an unchanged-power child skips its solve (sharing the parent's
+// thermal result), while the default gate of zero never skips.
+func TestPowerDeltaGateSkipsSolves(t *testing.T) {
+	f := smallFlow(t)
+	defer f.Close()
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A clone with no moves: same power map bit for bit.
+	twin := base.Placement.Clone()
+	twin.BeginDelta()
+	delta := twin.EndDelta()
+
+	// Default gate (0): the solve runs.
+	an, err := f.AnalyzeWith(twin, AnalyzeOptions{Parent: base, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.GateSkips(); got != 0 {
+		t.Fatalf("gate disabled but %d solves skipped", got)
+	}
+	if an.Thermal == base.Thermal {
+		t.Fatal("without a gate the child must have its own thermal result")
+	}
+
+	f.Config.PowerDeltaGateW = 1e-12
+	gated, err := f.AnalyzeWith(twin.Clone(), AnalyzeOptions{Parent: base, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.GateSkips(); got != 1 {
+		t.Fatalf("gate enabled on an identical power map: want 1 skip, got %d", got)
+	}
+	if gated.Thermal != base.Thermal {
+		t.Fatal("a gated analysis must reuse the parent's thermal result")
+	}
+	if gated.PeakRise() != base.PeakRise() {
+		t.Fatal("gated analysis changed the peak rise")
+	}
+}

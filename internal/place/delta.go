@@ -1,0 +1,184 @@
+package place
+
+import "slices"
+
+// Delta describes how a derived placement differs from the placement it was
+// derived from: which instances moved, which rows their old and new
+// positions touch, and which nets had a pin cell move (and so may have a
+// changed bounding box / wirelength). It is the contract between the
+// placement transforms that produce derived sweep points (Reflow,
+// EmptyRowInsertionDelta, HotspotWrapperDelta in package core) and the
+// downstream consumers that re-evaluate only what changed
+// (power.Report.Update, the flow's power-map solve gate).
+//
+// A full delta stands for "assume everything moved": consumers fall back to
+// their from-scratch path. Reflow returns a full delta — relaxing the
+// utilization re-spreads every row — while the row-insertion and wrapper
+// transforms record surgically which cells the edit and the subsequent
+// legalization actually displaced.
+//
+// The moved/dirty sets are reported in ascending ordinal order, so every
+// iteration over a delta is deterministic.
+type Delta struct {
+	full bool
+
+	moved     []int32 // instance ordinals, ascending
+	dirtyRows []int32 // row indices, ascending
+	dirtyNets []int32 // net ordinals, ascending
+}
+
+// FullDelta returns the delta that invalidates everything.
+func FullDelta() *Delta { return &Delta{full: true} }
+
+// IsFull reports whether the delta stands for "assume everything moved".
+func (d *Delta) IsFull() bool { return d != nil && d.full }
+
+// Empty reports whether the delta records no change at all.
+func (d *Delta) Empty() bool { return d != nil && !d.full && len(d.moved) == 0 }
+
+// Moved returns the ordinals of the moved instances in ascending order.
+// The slice is shared; callers must not modify it.
+func (d *Delta) Moved() []int32 { return d.moved }
+
+// DirtyRows returns the indices of the rows touched by a move (old or new
+// position) in ascending order. No consumer reads it yet — it is the
+// forward-looking half of the contract for row-scoped incremental
+// legalization/re-placement (see ROADMAP), recorded now so the transforms
+// do not need a second instrumentation pass later.
+func (d *Delta) DirtyRows() []int32 { return d.dirtyRows }
+
+// DirtyNets returns the ordinals of the nets with at least one moved pin
+// cell in ascending order. Their cached bounding boxes were invalidated by
+// the moves themselves (SetLoc); the list tells delta consumers which
+// wirelength-dependent values to re-evaluate.
+func (d *Delta) DirtyNets() []int32 { return d.dirtyNets }
+
+// Merge returns the composition of d (A→B) with next (B→C): a delta valid
+// for A→C. Either side being full makes the result full.
+func (d *Delta) Merge(next *Delta) *Delta {
+	if d == nil {
+		return next
+	}
+	if next == nil {
+		return d
+	}
+	if d.full || next.full {
+		return FullDelta()
+	}
+	return &Delta{
+		moved:     mergeSorted(d.moved, next.moved),
+		dirtyRows: mergeSorted(d.dirtyRows, next.dirtyRows),
+		dirtyNets: mergeSorted(d.dirtyNets, next.dirtyNets),
+	}
+}
+
+// mergeSorted unions two ascending lists into a new ascending list.
+func mergeSorted(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return append([]int32(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]int32(nil), a...)
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// deltaRecorder accumulates the effect of SetLoc calls between BeginDelta
+// and EndDelta.
+type deltaRecorder struct {
+	moved   []int32 // first-touch order; sorted at EndDelta
+	touched []bool  // by instance ordinal
+	rows    []bool  // by row index (grown on demand)
+}
+
+func (r *deltaRecorder) markRow(row int) {
+	if row < 0 {
+		return
+	}
+	for row >= len(r.rows) {
+		r.rows = append(r.rows, false)
+	}
+	r.rows[row] = true
+}
+
+// BeginDelta starts recording placement changes: every subsequent SetLoc
+// that actually moves an instance is folded into the delta returned by
+// EndDelta. Recording nests with nothing and must be closed before the
+// placement is shared; it exists for the derived-placement transforms,
+// which clone, record, edit and legalize in one linear sequence.
+func (p *Placement) BeginDelta() {
+	p.rec = &deltaRecorder{touched: make([]bool, len(p.locs))}
+}
+
+// EndDelta stops recording and returns the accumulated delta relative to
+// the placement state at BeginDelta.
+func (p *Placement) EndDelta() *Delta {
+	rec := p.rec
+	p.rec = nil
+	if rec == nil {
+		return &Delta{}
+	}
+	d := &Delta{}
+	// moved, ascending.
+	d.moved = append(d.moved, rec.moved...)
+	slices.Sort(d.moved)
+	// Dirty rows from the recorded bitmap plus the instances' current rows.
+	for _, ord := range d.moved {
+		if p.placed[ord] {
+			rec.markRow(p.locs[ord].Row)
+		}
+	}
+	for row, dirty := range rec.rows {
+		if dirty {
+			d.dirtyRows = append(d.dirtyRows, int32(row))
+		}
+	}
+	// Dirty nets: every net touching a moved instance, deduped via bitmap.
+	netDirty := make([]bool, len(p.netBoxValid))
+	for _, ord := range d.moved {
+		for _, netOrd := range p.instNets[ord] {
+			if int(netOrd) < len(netDirty) {
+				netDirty[netOrd] = true
+			}
+		}
+	}
+	for netOrd, dirty := range netDirty {
+		if dirty {
+			d.dirtyNets = append(d.dirtyNets, int32(netOrd))
+		}
+	}
+	return d
+}
+
+// record folds one real move into the active recorder. oldRow is the row
+// the instance occupied before the move (ignored when it was unplaced).
+func (p *Placement) record(ord int, wasPlaced bool, oldRow int) {
+	rec := p.rec
+	for ord >= len(rec.touched) {
+		rec.touched = append(rec.touched, false)
+	}
+	if !rec.touched[ord] {
+		rec.touched[ord] = true
+		rec.moved = append(rec.moved, int32(ord))
+	}
+	if wasPlaced {
+		rec.markRow(oldRow)
+	}
+}

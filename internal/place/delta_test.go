@@ -1,0 +1,198 @@
+package place
+
+import (
+	"testing"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+	"thermplace/internal/floorplan"
+)
+
+// samePlacement requires bit-identical cell coordinates, floorplans and
+// filler lists.
+func samePlacement(t *testing.T, want, got *Placement, label string) {
+	t.Helper()
+	if want.FP.Core != got.FP.Core {
+		t.Fatalf("%s: core differs: %v vs %v", label, got.FP.Core, want.FP.Core)
+	}
+	if wn, gn := want.FP.NumRows(), got.FP.NumRows(); wn != gn {
+		t.Fatalf("%s: row count differs: %d vs %d", label, gn, wn)
+	}
+	for _, inst := range want.Design.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		wl, wok := want.Loc(inst)
+		gl, gok := got.Loc(inst)
+		if wok != gok || wl != gl {
+			t.Fatalf("%s: %s placed at %v/%v, want %v/%v", label, inst.Name, gl, gok, wl, wok)
+		}
+	}
+	for _, port := range want.Design.Ports() {
+		wp, wok := want.PortLoc(port)
+		gp, gok := got.PortLoc(port)
+		if wok != gok || wp != gp {
+			t.Fatalf("%s: port %s at %v/%v, want %v/%v", label, port.Name, gp, gok, wp, wok)
+		}
+	}
+	if len(want.Fillers) != len(got.Fillers) {
+		t.Fatalf("%s: filler count differs: %d vs %d", label, len(got.Fillers), len(want.Fillers))
+	}
+	for i := range want.Fillers {
+		if want.Fillers[i] != got.Fillers[i] {
+			t.Fatalf("%s: filler %d differs: %+v vs %+v", label, i, got.Fillers[i], want.Fillers[i])
+		}
+	}
+}
+
+// TestReflowMatchesFromScratch drives Reflow both below the baseline
+// utilization (the sweep's relaxation direction) and above it (compaction)
+// and requires the derived placement to be bit-identical to a from-scratch
+// placement at the same utilization — the contract the incremental sweep's
+// Default points rely on.
+func TestReflowMatchesFromScratch(t *testing.T) {
+	lib := celllib.Default65nm()
+	d, err := bench.Generate(lib, bench.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const baseUtil = 0.85
+	fp, err := floorplan.New(d, floorplan.Config{Utilization: baseUtil, AspectRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := PlaceWithoutFillers(d, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, util := range []float64{0.60, 0.75, baseUtil, 0.92} {
+		derived, delta, err := base.Reflow(util)
+		if err != nil {
+			t.Fatalf("reflow to %.2f: %v", util, err)
+		}
+		if !delta.IsFull() {
+			t.Fatalf("reflow to %.2f: want a full delta, got %+v", util, delta)
+		}
+		RefineHPWL(derived, 1)
+		InsertFillers(derived)
+
+		fp2, err := floorplan.New(d, floorplan.Config{Utilization: util, AspectRatio: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch, err := PlaceWithoutFillers(d, fp2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		RefineHPWL(scratch, 1)
+		InsertFillers(scratch)
+
+		samePlacement(t, scratch, derived, "reflow")
+		if errs := derived.Validate(); len(errs) != 0 {
+			t.Fatalf("reflowed placement at %.2f not legal: %v", util, errs[0])
+		}
+		if hs, hd := scratch.TotalHPWL(), derived.TotalHPWL(); hs != hd {
+			t.Fatalf("HPWL differs at %.2f: %v vs %v", util, hd, hs)
+		}
+	}
+}
+
+// TestReflowOfReflowedPlacement checks a derived placement can itself be
+// reflowed (the shared unit order survives the derivation).
+func TestReflowOfReflowedPlacement(t *testing.T) {
+	lib := celllib.Default65nm()
+	d, err := bench.Generate(lib, bench.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := floorplan.New(d, floorplan.Config{Utilization: 0.85, AspectRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := PlaceWithoutFillers(d, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _, err := base.Reflow(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := mid.Reflow(0.66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := floorplan.New(d, floorplan.Config{Utilization: 0.66, AspectRatio: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := PlaceWithoutFillers(d, fp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePlacement(t, scratch, again, "reflow-of-reflow")
+}
+
+// TestDeltaRecordingSurgical verifies BeginDelta/EndDelta capture exactly
+// the touched instances, their old and new rows, and the nets on their
+// pins.
+func TestDeltaRecordingSurgical(t *testing.T) {
+	d, p := placedSmall(t, 0.85)
+	insts := d.Instances()
+	a, b := insts[3], insts[57]
+	la, _ := p.Loc(a)
+	lb, _ := p.Loc(b)
+
+	q := p.Clone()
+	q.BeginDelta()
+	// Move a to b's row, leave b alone via a no-op SetLoc.
+	q.SetLoc(a, Loc{X: la.X, Y: lb.Y, Row: lb.Row})
+	q.SetLoc(b, lb) // no-op: must not be recorded
+	delta := q.EndDelta()
+
+	if delta.IsFull() || delta.Empty() {
+		t.Fatalf("want a surgical delta, got full=%v empty=%v", delta.IsFull(), delta.Empty())
+	}
+	if len(delta.Moved()) != 1 || int(delta.Moved()[0]) != a.Ord() {
+		t.Fatalf("moved = %v, want just ordinal %d", delta.Moved(), a.Ord())
+	}
+	wantRows := map[int32]bool{int32(la.Row): true, int32(lb.Row): true}
+	if len(delta.DirtyRows()) != len(wantRows) {
+		t.Fatalf("dirty rows %v, want old+new rows %d,%d", delta.DirtyRows(), la.Row, lb.Row)
+	}
+	for _, r := range delta.DirtyRows() {
+		if !wantRows[r] {
+			t.Fatalf("unexpected dirty row %d (want %d and %d)", r, la.Row, lb.Row)
+		}
+	}
+	if len(delta.DirtyNets()) != len(q.instNets[a.Ord()]) {
+		t.Fatalf("dirty nets %v, want the %d nets touching %s", delta.DirtyNets(), len(q.instNets[a.Ord()]), a.Name)
+	}
+}
+
+// TestDeltaMerge exercises composition: sparse∪sparse unions the sets,
+// anything merged with a full delta is full.
+func TestDeltaMerge(t *testing.T) {
+	d1 := &Delta{moved: []int32{1, 5}, dirtyRows: []int32{0}, dirtyNets: []int32{2, 9}}
+	d2 := &Delta{moved: []int32{5, 7}, dirtyRows: []int32{3}, dirtyNets: []int32{9, 11}}
+	m := d1.Merge(d2)
+	wantInts := func(got []int32, want ...int32) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("got %v want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("got %v want %v", got, want)
+			}
+		}
+	}
+	wantInts(m.Moved(), 1, 5, 7)
+	wantInts(m.DirtyRows(), 0, 3)
+	wantInts(m.DirtyNets(), 2, 9, 11)
+	if !d1.Merge(FullDelta()).IsFull() || !FullDelta().Merge(d2).IsFull() {
+		t.Fatal("merge with a full delta must be full")
+	}
+	if got := (&Delta{}).Merge(&Delta{}); !got.Empty() {
+		t.Fatalf("empty∪empty = %+v, want empty", got)
+	}
+}

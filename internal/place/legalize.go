@@ -26,8 +26,10 @@ import (
 // post-placement transforms, which only perturb cells locally.
 func Legalize(p *Placement) {
 	fp := p.FP
-	// Pass 1: snap each cell to the nearest row, tracking per-row widths.
-	rowCells := make([][]*netlist.Instance, fp.NumRows())
+	// Pass 1: snap each cell to the nearest row, tracking per-row widths
+	// (accumulated in design order — the capacity comparisons below are
+	// float sums, and a different addition order could flip a marginal
+	// spill decision).
 	rowUsed := make([]float64, fp.NumRows())
 	for _, inst := range p.Design.Instances() {
 		if inst.IsFiller() {
@@ -41,12 +43,18 @@ func Legalize(p *Placement) {
 		l.Row = row.Index
 		l.Y = row.Y
 		p.SetLoc(inst, l)
-		rowCells[row.Index] = append(rowCells[row.Index], inst)
 		rowUsed[row.Index] += inst.Master.Width
 	}
+	// The row lists come straight off the occupancy index SetLoc maintains:
+	// each bucket is already sorted by (X, name), exactly the order the
+	// per-row sort used to produce.
+	rowCells := make([][]*netlist.Instance, fp.NumRows())
+	for row := 0; row < fp.NumRows(); row++ {
+		rowCells[row] = rowOccupantsNonFiller(p, row)
+	}
 
-	// Pass 2: spill overfull rows into the nearest rows with space. Each
-	// row is sorted once; the farthest-from-centre candidate is then always
+	// Pass 2: spill overfull rows into the nearest rows with space. Rows
+	// are already sorted; the farthest-from-centre candidate is then always
 	// at one of the two ends of the remaining span.
 	for row := 0; row < fp.NumRows(); row++ {
 		capacity := fp.Rows[row].Width()
@@ -54,7 +62,6 @@ func Legalize(p *Placement) {
 			continue
 		}
 		cells := rowCells[row]
-		sortCellsByX(p, cells)
 		centre := (fp.Rows[row].X0 + fp.Rows[row].X1) / 2
 		lo, hi := 0, len(cells)-1
 		for rowUsed[row] > capacity && lo <= hi {
@@ -104,8 +111,14 @@ func distFromCentre(p *Placement, inst *netlist.Instance, centre float64) float6
 }
 
 // sortCellsByX orders the cells by x position, breaking ties by name so the
-// order (and everything downstream of it) is deterministic.
+// order (and everything downstream of it) is deterministic. Already-sorted
+// input (the common case: row lists come pre-sorted off the occupancy
+// index, and only spill targets gain out-of-place cells) is detected in one
+// pass and left alone.
 func sortCellsByX(p *Placement, cells []*netlist.Instance) {
+	if cellsSortedByX(p, cells) {
+		return
+	}
 	sort.Slice(cells, func(i, j int) bool {
 		li, _ := p.Loc(cells[i])
 		lj, _ := p.Loc(cells[j])
@@ -114,6 +127,36 @@ func sortCellsByX(p *Placement, cells []*netlist.Instance) {
 		}
 		return cells[i].Name < cells[j].Name
 	})
+}
+
+func cellsSortedByX(p *Placement, cells []*netlist.Instance) bool {
+	for i := 1; i < len(cells); i++ {
+		li, _ := p.Loc(cells[i-1])
+		lj, _ := p.Loc(cells[i])
+		if li.X > lj.X || (li.X == lj.X && cells[i-1].Name > cells[i].Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// rowOccupantsNonFiller copies the row's occupancy bucket, dropping filler
+// instances.
+func rowOccupantsNonFiller(p *Placement, row int) []*netlist.Instance {
+	if row < 0 || row >= len(p.rowOcc) {
+		return nil
+	}
+	bucket := p.rowOcc[row]
+	if len(bucket) == 0 {
+		return nil
+	}
+	out := make([]*netlist.Instance, 0, len(bucket))
+	for _, ord := range bucket {
+		if inst := p.insts[ord]; !inst.IsFiller() {
+			out = append(out, inst)
+		}
+	}
+	return out
 }
 
 // findRowWithSpace returns the row index nearest to from that can absorb an

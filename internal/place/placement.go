@@ -91,6 +91,17 @@ type Placement struct {
 	// shared between clones.
 	instNets [][]int32
 
+	// unitOrder caches the per-unit connectivity-ordered cell lists the
+	// global placer computed, so derived placements (Reflow) can re-spread
+	// the design into a resized floorplan without re-running the BFS
+	// ordering. It depends only on the frozen netlist and is shared between
+	// clones; nil on placements not built by the global placer.
+	unitOrder []unitGroup
+
+	// rec, when non-nil, accumulates SetLoc moves into a Delta (see
+	// BeginDelta/EndDelta). It is never shared: Clone drops it.
+	rec *deltaRecorder
+
 	// Fillers are the dummy cells occupying whitespace.
 	Fillers []Filler
 }
@@ -199,6 +210,13 @@ func (p *Placement) rowAligned(l Loc) bool {
 func (p *Placement) SetLoc(inst *netlist.Instance, loc Loc) {
 	ord := inst.Ord()
 	p.ensureInst(ord)
+	if p.rec != nil {
+		if !p.placed[ord] {
+			p.record(ord, false, 0)
+		} else if p.locs[ord] != loc {
+			p.record(ord, true, p.locs[ord].Row)
+		}
+	}
 	if p.placed[ord] {
 		if p.locs[ord] == loc {
 			return
@@ -350,6 +368,7 @@ func (p *Placement) Clone() *Placement {
 		netBox:          append([]geom.Rect(nil), p.netBox...),
 		netBoxValid:     append([]bool(nil), p.netBoxValid...),
 		instNets:        p.instNets,
+		unitOrder:       p.unitOrder,
 		Fillers:         append([]Filler(nil), p.Fillers...),
 	}
 	for i, bucket := range p.rowOcc {

@@ -40,9 +40,32 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan) (*Placement, error) {
 // whitespace is filled exactly once, on the final cell positions.
 func PlaceWithoutFillers(d *netlist.Design, fp *floorplan.Floorplan) (*Placement, error) {
 	p := NewPlacement(d, fp)
+	groups, err := orderedUnitGroups(d, fp)
+	if err != nil {
+		return nil, err
+	}
+	p.unitOrder = groups
+	if err := spreadUnits(p, groups); err != nil {
+		return nil, err
+	}
+	placePorts(p)
+	Legalize(p)
+	return p, nil
+}
 
-	// Group instances by unit; untagged cells join the largest unit (the
-	// floorplanner folded their area into that region).
+// unitGroup is one logical unit's cells in the connectivity order the global
+// placer packs them. The grouping and the BFS order depend only on the
+// frozen netlist (region shapes never enter), so a placement caches its
+// groups and derived placements (Reflow) reuse them verbatim.
+type unitGroup struct {
+	unit  string
+	cells []*netlist.Instance
+}
+
+// orderedUnitGroups groups the non-filler instances by unit — untagged cells
+// join the unit whose region carries the largest cell area, mirroring the
+// floorplanner's area fold — and orders every group by connectivity.
+func orderedUnitGroups(d *netlist.Design, fp *floorplan.Floorplan) ([]unitGroup, error) {
 	groups := make(map[string][]*netlist.Instance)
 	for _, inst := range d.Instances() {
 		if inst.IsFiller() {
@@ -70,21 +93,25 @@ func PlaceWithoutFillers(d *netlist.Design, fp *floorplan.Floorplan) (*Placement
 	}
 	sort.Strings(unitNames)
 
+	out := make([]unitGroup, 0, len(unitNames))
 	for _, unit := range unitNames {
-		cells := groups[unit]
-		region := fp.Core
-		if reg := fp.RegionOf(unit); reg != nil {
+		out = append(out, unitGroup{unit: unit, cells: orderByConnectivity(d, groups[unit])})
+	}
+	return out, nil
+}
+
+// spreadUnits packs every unit group into its floorplan region.
+func spreadUnits(p *Placement, groups []unitGroup) error {
+	for _, g := range groups {
+		region := p.FP.Core
+		if reg := p.FP.RegionOf(g.unit); reg != nil {
 			region = reg.Rect
 		}
-		ordered := orderByConnectivity(d, cells)
-		if err := placeInRegion(p, ordered, region); err != nil {
-			return nil, fmt.Errorf("place: unit %q: %w", unit, err)
+		if err := placeInRegion(p, g.cells, region); err != nil {
+			return fmt.Errorf("place: unit %q: %w", g.unit, err)
 		}
 	}
-
-	placePorts(p)
-	Legalize(p)
-	return p, nil
+	return nil
 }
 
 // SpreadIntoRegion re-places the given cells uniformly across the rows

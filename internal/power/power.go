@@ -43,28 +43,44 @@ type Breakdown struct {
 // Total returns the summed power of the breakdown in watts.
 func (b Breakdown) Total() float64 { return b.Internal + b.Load + b.Clock + b.Leakage }
 
-// Report holds the power estimate of a whole design.
+// Report holds the power estimate of a whole design for one placement.
+// Per-instance breakdowns live in a dense ordinal-indexed slice, which is
+// what makes deriving an updated report from a placement delta
+// (Report.Update) a slice copy plus a handful of re-evaluated entries
+// rather than a map rebuild.
 type Report struct {
-	// PerInstance maps each non-filler instance to its power breakdown.
-	PerInstance map[*netlist.Instance]Breakdown
 	// ClockHz is the clock frequency the estimate was computed for.
 	ClockHz float64
 	// insts lists the estimated instances in design order. Every
-	// accumulation over the report iterates this slice rather than the
-	// PerInstance map: float addition is order sensitive, and map order
-	// would make totals and power maps differ bit-wise between runs (which
-	// in turn would break the bit-identical concurrent sweep).
+	// accumulation over the report iterates this slice: float addition is
+	// order sensitive, and an unstable order would make totals and power
+	// maps differ bit-wise between runs (which in turn would break the
+	// bit-identical concurrent sweep).
 	insts []*netlist.Instance
+	// perInst holds each instance's breakdown, indexed by instance ordinal
+	// (zero for fillers and unplaced ordinals).
+	perInst []Breakdown
+	// est is the estimator that produced the report; Update re-evaluates
+	// dirty entries through it.
+	est *Estimator
 }
 
 // Instances returns the estimated instances in deterministic design order.
 func (r *Report) Instances() []*netlist.Instance { return r.insts }
 
+// Breakdown returns the power breakdown of one instance.
+func (r *Report) Breakdown(inst *netlist.Instance) Breakdown {
+	if ord := inst.Ord(); ord < len(r.perInst) {
+		return r.perInst[ord]
+	}
+	return Breakdown{}
+}
+
 // Total returns the total design power in watts.
 func (r *Report) Total() float64 {
 	t := 0.0
 	for _, inst := range r.insts {
-		t += r.PerInstance[inst].Total()
+		t += r.perInst[inst.Ord()].Total()
 	}
 	return t
 }
@@ -73,7 +89,7 @@ func (r *Report) Total() float64 {
 func (r *Report) TotalBreakdown() Breakdown {
 	var out Breakdown
 	for _, inst := range r.insts {
-		b := r.PerInstance[inst]
+		b := r.perInst[inst.Ord()]
 		out.Internal += b.Internal
 		out.Load += b.Load
 		out.Clock += b.Clock
@@ -84,7 +100,7 @@ func (r *Report) TotalBreakdown() Breakdown {
 
 // InstancePower returns the total power of one instance in watts.
 func (r *Report) InstancePower(inst *netlist.Instance) float64 {
-	return r.PerInstance[inst].Total()
+	return r.Breakdown(inst).Total()
 }
 
 // PerUnit returns total power per logical unit, plus the power of untagged
@@ -92,7 +108,7 @@ func (r *Report) InstancePower(inst *netlist.Instance) float64 {
 func (r *Report) PerUnit() map[string]float64 {
 	out := make(map[string]float64)
 	for _, inst := range r.insts {
-		out[inst.Unit] += r.PerInstance[inst].Total()
+		out[inst.Unit] += r.perInst[inst.Ord()].Total()
 	}
 	return out
 }
@@ -113,53 +129,16 @@ func (r *Report) TopConsumers(n int) []*netlist.Instance {
 	return insts[:n]
 }
 
-// Estimate computes the power report for a placed design.
+// Estimate computes the power report for a placed design: a one-shot
+// Estimator build plus its placement pass. Callers that estimate several
+// placements of the same design under the same activity (the sweep) hold
+// an Estimator instead and amortize the netlist traversal.
 //
 // The placement is used for the wire-capacitance component of the switching
 // load; pass a nil placement to get a wire-load-free estimate (useful before
 // placement exists).
 func Estimate(d *netlist.Design, p *place.Placement, act *logicsim.Activity, clockHz float64) *Report {
-	lib := d.Lib
-	rep := &Report{PerInstance: make(map[*netlist.Instance]Breakdown, d.NumInstances()), ClockHz: clockHz}
-	vdd2 := lib.Vdd * lib.Vdd
-
-	for _, inst := range d.Instances() {
-		if inst.IsFiller() {
-			continue
-		}
-		m := inst.Master
-		var b Breakdown
-		b.Leakage = m.Leakage * nano
-
-		outPin := m.OutputPin()
-		if outPin != "" {
-			if outNet := inst.Conn(outPin); outNet != nil {
-				alpha := act.For(outNet.Name)
-				// Fanout pin capacitance.
-				loadCap := 0.0
-				for _, l := range outNet.Loads {
-					if l.Inst != nil {
-						loadCap += l.Inst.Master.PinCap(l.Pin)
-					}
-				}
-				// Wire capacitance from placed HPWL.
-				if p != nil {
-					loadCap += p.HPWL(outNet) * lib.WireCapPerUm
-				}
-				b.Internal = m.SwitchEnergy * femto * alpha * clockHz
-				b.Load = 0.5 * loadCap * femto * vdd2 * alpha * clockHz
-			}
-		}
-		if m.Sequential {
-			// The clock pin toggles twice per cycle regardless of data
-			// activity.
-			ckCap := m.PinCap("CK")
-			b.Clock = 0.5 * ckCap * femto * vdd2 * 2 * clockHz
-		}
-		rep.PerInstance[inst] = b
-		rep.insts = append(rep.insts, inst)
-	}
-	return rep
+	return NewEstimator(d, act, clockHz).Report(p)
 }
 
 // Map bins the per-instance power onto an nx-by-ny grid over the placement's
@@ -168,15 +147,15 @@ func Estimate(d *netlist.Design, p *place.Placement, act *logicsim.Activity, clo
 // of the paper's Figure 5 (left).
 func Map(rep *Report, p *place.Placement, nx, ny int) *geom.Grid {
 	g := geom.NewGrid(nx, ny, p.FP.Core)
-	// Iterate in design order, not map order: the spread accumulates into
-	// shared grid cells, and float addition order must be reproducible for
-	// the sweep results to be bit-identical across runs.
+	// Iterate in design order: the spread accumulates into shared grid
+	// cells, and float addition order must be reproducible for the sweep
+	// results to be bit-identical across runs.
 	for _, inst := range rep.insts {
 		r, ok := p.CellRect(inst)
 		if !ok {
 			continue
 		}
-		g.SpreadRect(r, rep.PerInstance[inst].Total())
+		g.SpreadRect(r, rep.perInst[inst.Ord()].Total())
 	}
 	return g
 }

@@ -58,7 +58,7 @@ func TestEstimateBasicProperties(t *testing.T) {
 		t.Fatal("TotalBreakdown inconsistent with Total")
 	}
 	// No filler instances in the report, every non-filler present.
-	for inst := range rep.PerInstance {
+	for _, inst := range rep.Instances() {
 		if inst.IsFiller() {
 			t.Fatalf("filler %q has a power entry", inst.Name)
 		}
@@ -69,8 +69,8 @@ func TestEstimateBasicProperties(t *testing.T) {
 			nonFiller++
 		}
 	}
-	if len(rep.PerInstance) != nonFiller {
-		t.Fatalf("report covers %d of %d cells", len(rep.PerInstance), nonFiller)
+	if len(rep.Instances()) != nonFiller {
+		t.Fatalf("report covers %d of %d cells", len(rep.Instances()), nonFiller)
 	}
 }
 
@@ -183,7 +183,7 @@ func TestTopConsumers(t *testing.T) {
 		}
 	}
 	all := rep.TopConsumers(1 << 20)
-	if len(all) != len(rep.PerInstance) {
+	if len(all) != len(rep.Instances()) {
 		t.Fatal("TopConsumers with huge n must return all instances")
 	}
 }

@@ -3,8 +3,6 @@ package sparse
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Preconditioner approximates the inverse of the solver's matrix. Apply must
@@ -25,14 +23,20 @@ type CGOptions struct {
 	// MaxIterations bounds the iteration count. Zero means 10*N.
 	MaxIterations int
 	// Workers is the number of goroutines used for matrix-vector products
-	// and reductions; an explicit value is honored as given. Zero picks
-	// GOMAXPROCS, capped so every worker owns at least minRowsPerWorker
-	// rows. 1 runs everything on the calling goroutine.
+	// and reductions; an explicit value is honored as given (clamped to the
+	// shared Pool's size when one is supplied). Zero picks GOMAXPROCS,
+	// capped so every worker owns at least minRowsPerWorker rows. 1 runs
+	// everything on the calling goroutine.
 	Workers int
 	// Precond replaces the built-in Jacobi (diagonal) preconditioner. The
 	// multigrid preconditioner in this package (MG) drops the iteration
 	// count of large structured systems several-fold; nil keeps Jacobi.
 	Precond Preconditioner
+	// Pool is an existing worker pool to run on, so a solver stack (CG plus
+	// a multigrid preconditioner) shares one set of goroutines. Nil makes
+	// the CG own a private pool, released by Close; a shared pool is left
+	// running — its owner closes it.
+	Pool *Pool
 }
 
 // minRowsPerWorker keeps the per-iteration synchronization cost well below
@@ -55,22 +59,20 @@ type CG struct {
 	opt CGOptions
 
 	r, z, p, ap []float64
-	partial     []float64
 
-	// Per-solve state shared with the workers. The WaitGroup barrier in
-	// run() orders writes to alpha/beta/b/x before the workers read them.
+	// Per-solve state shared with the workers. The barrier in Pool.Run
+	// orders writes to alpha/beta/b/x before the workers read them.
 	b, x        []float64
 	alpha, beta float64
 
 	workers int
 	bounds  []int
-	// ops has one channel per worker so every worker executes every op
-	// exactly once over its own row range. The channels are allocated once
-	// in NewCG and reused for every solve.
-	ops     []chan int
-	wg      sync.WaitGroup
-	started bool
-	closed  bool
+	// pool runs the partitioned ops; tasks is one prebuilt closure per op
+	// code so a solve allocates nothing per iteration. ownPool marks a
+	// private pool that Close releases (a shared pool outlives the CG).
+	pool    *Pool
+	ownPool bool
+	tasks   [opCount]func(w int) float64
 }
 
 // Worker op codes.
@@ -82,6 +84,7 @@ const (
 	opPrecond         // z = r / diag, partial r·z
 	opUpdateP         // p = z + beta*p
 	opDotRZ           // partial r·z (external preconditioner)
+	opCount
 )
 
 // NewCG builds a solver for m. The matrix may be modified between Solve
@@ -96,10 +99,10 @@ func NewCG(m *SymCSR, opt CGOptions) *CG {
 	}
 	w := opt.Workers
 	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-		if byRows := m.N / minRowsPerWorker; w > byRows {
-			w = byRows
-		}
+		w = AutoWorkers(m.N)
+	}
+	if opt.Pool != nil && w > opt.Pool.Workers() {
+		w = opt.Pool.Workers()
 	}
 	if w > m.N {
 		w = m.N
@@ -117,14 +120,18 @@ func NewCG(m *SymCSR, opt CGOptions) *CG {
 		workers: w,
 	}
 	if w > 1 {
-		c.partial = make([]float64, w*padStride)
-		c.bounds = make([]int, w+1)
-		for i := 0; i <= w; i++ {
-			c.bounds[i] = i * m.N / w
+		c.bounds = chunkBounds(m.N, w)
+		if opt.Pool != nil {
+			c.pool = opt.Pool
+		} else {
+			c.pool = NewPool(w)
+			c.ownPool = true
 		}
-		c.ops = make([]chan int, w)
-		for i := range c.ops {
-			c.ops[i] = make(chan int, 1)
+		for op := 0; op < opCount; op++ {
+			op := op
+			c.tasks[op] = func(w int) float64 {
+				return c.runRange(op, c.bounds[w], c.bounds[w+1])
+			}
 		}
 	}
 	return c
@@ -133,31 +140,14 @@ func NewCG(m *SymCSR, opt CGOptions) *CG {
 // Workers returns the degree of parallelism the solver settled on.
 func (c *CG) Workers() int { return c.workers }
 
-// Close stops the persistent worker goroutines. Subsequent Solve calls
-// still work but run serially on the calling goroutine. Close is
-// idempotent.
+// Close stops the persistent worker goroutines of a privately owned pool
+// (a shared CGOptions.Pool is left running for its owner to close).
+// Subsequent Solve calls still work but run serially on the calling
+// goroutine. Close is idempotent.
 func (c *CG) Close() {
-	if c.started {
-		for _, ch := range c.ops {
-			close(ch)
-		}
-		c.started = false
+	if c.ownPool {
+		c.pool.Close()
 	}
-	c.closed = true
-}
-
-// parallel reports whether ops run on the worker pool, starting it lazily.
-func (c *CG) parallel() bool {
-	if c.workers == 1 || c.closed {
-		return false
-	}
-	if !c.started {
-		for w := 0; w < c.workers; w++ {
-			go c.worker(w)
-		}
-		c.started = true
-	}
-	return true
 }
 
 // Solve solves A*x = b, using the incoming contents of x as the initial
@@ -225,27 +215,10 @@ func (c *CG) precond() float64 {
 // run executes one op over all rows, either inline or on the worker pool,
 // and returns the summed partial result (0 for ops without a reduction).
 func (c *CG) run(op int) float64 {
-	if !c.parallel() {
+	if !c.pool.Parallel(c.workers) {
 		return c.runRange(op, 0, c.m.N)
 	}
-	c.wg.Add(c.workers)
-	for w := 0; w < c.workers; w++ {
-		c.ops[w] <- op
-	}
-	c.wg.Wait()
-	sum := 0.0
-	for w := 0; w < c.workers; w++ {
-		sum += c.partial[w*padStride]
-	}
-	return sum
-}
-
-func (c *CG) worker(w int) {
-	lo, hi := c.bounds[w], c.bounds[w+1]
-	for op := range c.ops[w] {
-		c.partial[w*padStride] = c.runRange(op, lo, hi)
-		c.wg.Done()
-	}
+	return c.pool.Run(c.workers, c.tasks[op])
 }
 
 // runRange executes one op over rows [lo, hi) and returns its partial sum.

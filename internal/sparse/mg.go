@@ -24,6 +24,13 @@ type MGOptions struct {
 	// coarsening per level it costs only ~2x the fine-grid work of a
 	// V-cycle.
 	VCycle bool
+	// Pool runs the red-black smoother, residual and prolongation of the
+	// large levels on a shared worker pool (typically the same pool as the
+	// enclosing CG). Rows of one color never read each other, so the
+	// parallel sweeps are bit-identical to the serial ones for any worker
+	// count. Nil keeps every level serial. The pool is never closed by the
+	// MG; its owner closes it.
+	Pool *Pool
 }
 
 // MG is a geometric multigrid V-cycle specialized to the 7-point stencil of
@@ -80,6 +87,19 @@ type mgLevel struct {
 	// chol is the dense lower-triangular Cholesky factor of the coarsest
 	// level (row-major n*n), nil elsewhere.
 	chol []float64
+
+	// pool and kw enable kw-way parallel smoothing/residual/prolongation on
+	// this level (nil/0 on levels too small to split). curB/curX/curR/curCX
+	// carry the vectors of the operation in flight to the prebuilt tasks,
+	// which partition work by the precomputed bounds; the red-black
+	// independence of the 7-point stencil makes every parallel sweep
+	// bit-identical to the serial one.
+	pool                              *Pool
+	kw                                int
+	redBounds, blackBounds, rowBounds []int
+	curB, curX, curR, curCX           []float64
+	redTask, blackTask, zeroRedTask   func(w int) float64
+	residTask, prolongTask            func(w int) float64
 }
 
 // NewMG builds the multigrid hierarchy for m, which must be the 7-point
@@ -137,7 +157,64 @@ func NewMG(m *SymCSR, nx, ny, nl int, opt MGOptions) (*MG, error) {
 			lv.x2 = make([]float64, n)
 		}
 	}
+	if opt.Pool != nil && opt.Pool.Workers() > 1 {
+		for _, lv := range g.levels {
+			lv.setupPool(opt.Pool)
+		}
+	}
 	return g, nil
+}
+
+// chunkBounds splits [0, n) into k contiguous ranges.
+func chunkBounds(n, k int) []int {
+	b := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		b[i] = i * n / k
+	}
+	return b
+}
+
+// setupPool attaches the shared pool to a level large enough to benefit and
+// prebuilds the partitioned tasks so a cycle allocates nothing.
+func (lv *mgLevel) setupPool(p *Pool) {
+	k := p.Workers()
+	if byRows := lv.m.N / minRowsPerWorker; k > byRows {
+		k = byRows
+	}
+	if k < 2 || lv.chol != nil {
+		return
+	}
+	lv.pool = p
+	lv.kw = k
+	lv.redBounds = chunkBounds(len(lv.red), k)
+	lv.blackBounds = chunkBounds(len(lv.black), k)
+	lv.rowBounds = chunkBounds(lv.m.N, k)
+	lv.redTask = func(w int) float64 {
+		lv.gsRows(lv.curB, lv.curX, lv.red[lv.redBounds[w]:lv.redBounds[w+1]])
+		return 0
+	}
+	lv.blackTask = func(w int) float64 {
+		lv.gsRows(lv.curB, lv.curX, lv.black[lv.blackBounds[w]:lv.blackBounds[w+1]])
+		return 0
+	}
+	lv.zeroRedTask = func(w int) float64 {
+		b, x, diag := lv.curB, lv.curX, lv.m.Diag
+		for _, i := range lv.red[lv.redBounds[w]:lv.redBounds[w+1]] {
+			x[i] = b[i] / diag[i]
+		}
+		return 0
+	}
+	lv.residTask = func(w int) float64 {
+		lv.m.residualRange(lv.curB, lv.curX, lv.curR, lv.rowBounds[w], lv.rowBounds[w+1])
+		return 0
+	}
+	lv.prolongTask = func(w int) float64 {
+		x, cx := lv.curX, lv.curCX
+		for i := lv.rowBounds[w]; i < lv.rowBounds[w+1]; i++ {
+			x[i] += cx[lv.parent[i]]
+		}
+		return 0
+	}
 }
 
 func newMGLevel(m *SymCSR, nx, ny, nl int) *mgLevel {
@@ -301,15 +378,13 @@ func (g *MG) cycle(l int, b, x []float64) {
 	// collapses to x = b/diag; it writes every red row and the black
 	// half-sweep only reads red neighbours (the stencil is bipartite), so
 	// no explicit zeroing of x is needed.
-	for _, i := range lv.red {
-		x[i] = b[i] / lv.m.Diag[i]
-	}
-	lv.gsPass(b, x, lv.black)
+	lv.zeroRed(b, x)
+	lv.gsPass(b, x, black)
 	for s := 1; s < g.opt.PreSmooth; s++ {
-		lv.gsPass(b, x, lv.red)
-		lv.gsPass(b, x, lv.black)
+		lv.gsPass(b, x, red)
+		lv.gsPass(b, x, black)
 	}
-	lv.m.residualRange(b, x, lv.r, 0, lv.m.N)
+	lv.residual(b, x, lv.r)
 	next := g.levels[l+1]
 	for i := range next.b {
 		next.b[i] = 0
@@ -323,23 +398,60 @@ func (g *MG) cycle(l int, b, x []float64) {
 		// compound step v + M(b - Av) is still a fixed symmetric
 		// positive-definite operator (error propagation (I-MA)²), so CG
 		// stays valid.
-		next.m.residualRange(next.b, next.x, next.r2, 0, next.m.N)
+		next.residual(next.b, next.x, next.r2)
 		g.cycle(l+1, next.r2, next.x2)
 		for i, v := range next.x2 {
 			next.x[i] += v
 		}
 	}
-	for i, p := range lv.parent {
-		x[i] += next.x[p]
-	}
+	lv.prolong(x, next.x)
 	for s := 0; s < g.opt.PostSmooth; s++ {
-		lv.gsPass(b, x, lv.black)
-		lv.gsPass(b, x, lv.red)
+		lv.gsPass(b, x, black)
+		lv.gsPass(b, x, red)
 	}
 }
 
-// gsPass runs one Gauss-Seidel half-sweep over the given color class.
-func (lv *mgLevel) gsPass(b, x []float64, rows []int32) {
+// Color classes of the red-black smoother.
+const (
+	red = iota
+	black
+)
+
+// zeroRed runs the zero-iterate shortcut of the first red half-sweep.
+func (lv *mgLevel) zeroRed(b, x []float64) {
+	if lv.pool.Parallel(lv.kw) {
+		lv.curB, lv.curX = b, x
+		lv.pool.Run(lv.kw, lv.zeroRedTask)
+		return
+	}
+	for _, i := range lv.red {
+		x[i] = b[i] / lv.m.Diag[i]
+	}
+}
+
+// gsPass runs one Gauss-Seidel half-sweep over the given color class,
+// partitioned across the pool workers on levels that carry one. Rows of one
+// color only read the other color's entries, so the result is identical for
+// any partition.
+func (lv *mgLevel) gsPass(b, x []float64, color int) {
+	if lv.pool.Parallel(lv.kw) {
+		lv.curB, lv.curX = b, x
+		if color == red {
+			lv.pool.Run(lv.kw, lv.redTask)
+		} else {
+			lv.pool.Run(lv.kw, lv.blackTask)
+		}
+		return
+	}
+	if color == red {
+		lv.gsRows(b, x, lv.red)
+	} else {
+		lv.gsRows(b, x, lv.black)
+	}
+}
+
+// gsRows applies the Gauss-Seidel update to the given rows.
+func (lv *mgLevel) gsRows(b, x []float64, rows []int32) {
 	m := lv.m
 	for _, i := range rows {
 		s := b[i]
@@ -347,5 +459,27 @@ func (lv *mgLevel) gsPass(b, x []float64, rows []int32) {
 			s -= m.Val[k] * x[m.Col[k]]
 		}
 		x[i] = s / m.Diag[i]
+	}
+}
+
+// residual computes r = b - A*x, row-partitioned on pooled levels.
+func (lv *mgLevel) residual(b, x, r []float64) {
+	if lv.pool.Parallel(lv.kw) {
+		lv.curB, lv.curX, lv.curR = b, x, r
+		lv.pool.Run(lv.kw, lv.residTask)
+		return
+	}
+	lv.m.residualRange(b, x, r, 0, lv.m.N)
+}
+
+// prolong adds the coarse correction back onto the fine iterate.
+func (lv *mgLevel) prolong(x, coarseX []float64) {
+	if lv.pool.Parallel(lv.kw) {
+		lv.curX, lv.curCX = x, coarseX
+		lv.pool.Run(lv.kw, lv.prolongTask)
+		return
+	}
+	for i, p := range lv.parent {
+		x[i] += coarseX[p]
 	}
 }

@@ -280,3 +280,60 @@ func TestCGPersistentPoolReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestMGPooledSmootherBitIdentical runs the same W-cycle serially and on a
+// multi-worker pool and requires exactly identical output: rows of one
+// red-black color never read each other, so the partitioned sweeps must
+// reproduce the serial ones bit for bit, which is what lets the thermal
+// solver parallelize the smoother without perturbing any solve downstream.
+func TestMGPooledSmootherBitIdentical(t *testing.T) {
+	nx, ny, nl := 40, 40, 9 // 14400 rows: enough for a 3-way fine-level split
+	m := NewStencil7(nx, ny, nl)
+	fillThermalLike(m, nx, ny, nl)
+	serial := refreshedMG(t, m, nx, ny, nl, MGOptions{})
+
+	pool := NewPool(3)
+	defer pool.Close()
+	pooled := refreshedMG(t, m, nx, ny, nl, MGOptions{Pool: pool})
+	if pooled.levels[0].kw < 2 {
+		t.Fatalf("fine level not pooled (kw=%d); test needs a parallel smoother", pooled.levels[0].kw)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	r := make([]float64, m.N)
+	for i := range r {
+		r[i] = rng.Float64() - 0.5
+	}
+	zs := make([]float64, m.N)
+	zp := make([]float64, m.N)
+	serial.Apply(r, zs)
+	pooled.Apply(r, zp)
+	for i := range zs {
+		if zs[i] != zp[i] {
+			t.Fatalf("pooled cycle differs at row %d: %v vs %v", i, zp[i], zs[i])
+		}
+	}
+
+	// The full preconditioned solve must also be bit-identical when CG and
+	// MG share the pool.
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = rng.Float64() * 1e-3
+	}
+	solve := func(mg *MG, p *Pool) []float64 {
+		cg := NewCG(m, CGOptions{Precond: mg, Pool: p, Workers: 3})
+		defer cg.Close()
+		x := make([]float64, m.N)
+		if _, _, err := cg.Solve(b, x); err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	xs := solve(serial, nil)
+	xp := solve(pooled, pool)
+	for i := range xs {
+		if xs[i] != xp[i] {
+			t.Fatalf("pooled solve differs at row %d: %v vs %v", i, xp[i], xs[i])
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package sparse
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a set of parked worker goroutines executing row-partitioned
+// operations. It is shared by the kernels in this package that want
+// parallelism without per-solve goroutine churn: the CG iteration ops and
+// the multigrid red-black smoother run on the same pool, so a thermal
+// solver owns exactly one set of workers regardless of how many operators
+// are stacked inside it.
+//
+// The goroutines are started lazily on the first parallel run and parked on
+// their channels between runs. A Pool is not safe for concurrent Run calls;
+// the solvers in this repository issue strictly sequential operations.
+type Pool struct {
+	workers int
+	ops     []chan func(w int) float64
+	wg      sync.WaitGroup
+	partial []float64
+	started bool
+	closed  bool
+}
+
+// NewPool creates a pool of the given size. workers <= 0 picks GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.partial = make([]float64, workers*padStride)
+		p.ops = make([]chan func(w int) float64, workers)
+		for i := range p.ops {
+			p.ops[i] = make(chan func(w int) float64, 1)
+		}
+	}
+	return p
+}
+
+// AutoWorkers returns the pool size the package would pick for an n-row
+// system: GOMAXPROCS capped so every worker owns at least minRowsPerWorker
+// rows (and at least 1).
+func AutoWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if byRows := n / minRowsPerWorker; w > byRows {
+		w = byRows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Parallel reports whether a k-way partitioned operation runs on the pool,
+// starting the worker goroutines lazily. It returns false once the pool is
+// closed or when k < 2; callers then run their serial fallback.
+func (p *Pool) Parallel(k int) bool {
+	if p == nil || k < 2 || p.workers < 2 || p.closed {
+		return false
+	}
+	if !p.started {
+		for w := 0; w < p.workers; w++ {
+			go p.worker(w)
+		}
+		p.started = true
+	}
+	return true
+}
+
+// Run executes task(w) for w = 0..k-1 on the pool workers and returns the
+// per-worker results summed in worker order (so reductions are bit-stable
+// for a fixed k). Callers must have obtained Parallel(k) == true; k must
+// not exceed Workers().
+func (p *Pool) Run(k int, task func(w int) float64) float64 {
+	p.wg.Add(k)
+	for w := 0; w < k; w++ {
+		p.ops[w] <- task
+	}
+	p.wg.Wait()
+	sum := 0.0
+	for w := 0; w < k; w++ {
+		sum += p.partial[w*padStride]
+	}
+	return sum
+}
+
+func (p *Pool) worker(w int) {
+	for task := range p.ops[w] {
+		p.partial[w*padStride] = task(w)
+		p.wg.Done()
+	}
+}
+
+// Close stops the worker goroutines. Operations issued afterwards run
+// serially on the calling goroutine. Close is idempotent.
+func (p *Pool) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	if p.started {
+		for _, ch := range p.ops {
+			close(ch)
+		}
+		p.started = false
+	}
+	p.closed = true
+}

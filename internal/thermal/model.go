@@ -21,6 +21,20 @@ const (
 	PrecondJacobi
 )
 
+// ParsePrecond maps a flag-style name (auto, mg, jacobi; "" means auto)
+// onto a PrecondKind. The commands exposing -precond share it.
+func ParsePrecond(name string) (PrecondKind, error) {
+	switch name {
+	case "auto", "":
+		return PrecondAuto, nil
+	case "mg":
+		return PrecondMG, nil
+	case "jacobi":
+		return PrecondJacobi, nil
+	}
+	return 0, fmt.Errorf("unknown preconditioner %q (want auto, mg or jacobi)", name)
+}
+
 // Config describes one thermal analysis setup.
 type Config struct {
 	// NX and NY are the lateral grid resolution. The paper uses 40 x 40,

@@ -35,8 +35,9 @@ type Solver struct {
 	// triggers a value refresh.
 	cellW, cellH float64
 
-	mat *sparse.SymCSR
-	cg  *sparse.CG
+	mat  *sparse.SymCSR
+	cg   *sparse.CG
+	pool *sparse.Pool
 	// mg is the multigrid preconditioner (nil with PrecondJacobi); its
 	// coarse operators are rebuilt by fillValues.
 	mg *sparse.MG
@@ -73,13 +74,18 @@ func NewSolver(cfg Config) (*Solver, error) {
 	s.ambRHS = make([]float64, s.n)
 	s.rhs = make([]float64, s.n)
 	s.x = make([]float64, s.n)
+	// One worker pool serves the whole solver stack: the CG iteration ops
+	// and the multigrid smoother park on the same goroutines.
+	s.pool = sparse.NewPool(sparse.AutoWorkers(s.n))
 	opts := sparse.CGOptions{
 		Tolerance:     cfg.Tolerance,
 		MaxIterations: 10 * s.n,
+		Pool:          s.pool,
 	}
 	if cfg.Precond != PrecondJacobi {
-		mg, err := sparse.NewMG(s.mat, s.nx, s.ny, s.nl, sparse.MGOptions{})
+		mg, err := sparse.NewMG(s.mat, s.nx, s.ny, s.nl, sparse.MGOptions{Pool: s.pool})
 		if err != nil {
+			s.pool.Close()
 			return nil, fmt.Errorf("thermal: building multigrid hierarchy: %w", err)
 		}
 		s.mg = mg
@@ -310,5 +316,9 @@ func (s *Solver) MGLevels() int {
 	return s.mg.Levels()
 }
 
-// Close releases the CG worker pool. The solver remains usable, serially.
-func (s *Solver) Close() { s.cg.Close() }
+// Close releases the worker pool shared by the CG iteration and the
+// multigrid smoother. The solver remains usable, serially.
+func (s *Solver) Close() {
+	s.cg.Close()
+	s.pool.Close()
+}
