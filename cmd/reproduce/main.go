@@ -19,15 +19,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"thermplace/internal/bench"
 	"thermplace/internal/celllib"
 	"thermplace/internal/congestion"
 	"thermplace/internal/core"
+	"thermplace/internal/fault"
 	"thermplace/internal/flow"
 	"thermplace/internal/netlist"
 	"thermplace/internal/thermal"
@@ -46,6 +51,7 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential)")
 		precond = flag.String("precond", "auto", "thermal CG preconditioner: auto, mg or jacobi")
 		incr    = flag.Bool("incremental", false, "derive sweep points incrementally from the baseline (delta-driven pipeline; bit-identical output)")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); Ctrl-C also cancels cleanly")
 	)
 	flag.Parse()
 	pk, err := thermal.ParsePrecond(*precond)
@@ -53,6 +59,18 @@ func main() {
 		fatal(err)
 	}
 	sweepOpts := core.SweepOptions{Workers: *workers, Incremental: *incr}
+
+	// A SIGINT/SIGTERM (or the -timeout deadline) cancels the analysis
+	// pipeline cooperatively: the in-flight thermal solves abort within a few
+	// CG iterations and every worker goroutine drains before the process
+	// exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	lib := celllib.Default65nm()
 	cfgBench := bench.DefaultConfig()
@@ -82,23 +100,23 @@ func main() {
 	ran := false
 	if want("fig5") {
 		ran = true
-		runFig5(mkFlow(scatteredWorkload(*small)), *outdir)
+		runFig5(ctx, mkFlow(scatteredWorkload(*small)), *outdir)
 	}
 	if want("fig6") {
 		ran = true
-		runFig6(mkFlow(scatteredWorkload(*small)), sweepOpts)
+		runFig6(ctx, mkFlow(scatteredWorkload(*small)), sweepOpts)
 	}
 	if want("table1") {
 		ran = true
-		runTable1(mkFlow(concentratedWorkload(*small)), *small)
+		runTable1(ctx, mkFlow(concentratedWorkload(*small)), *small)
 	}
 	if want("timing") {
 		ran = true
-		runTiming(design, mkFlow(scatteredWorkload(*small)))
+		runTiming(ctx, design, mkFlow(scatteredWorkload(*small)))
 	}
 	if want("congestion") {
 		ran = true
-		runCongestion(mkFlow(scatteredWorkload(*small)))
+		runCongestion(ctx, mkFlow(scatteredWorkload(*small)))
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
@@ -124,9 +142,9 @@ func concentratedWorkload(small bool) bench.Workload {
 	return bench.ConcentratedLargeHotspot()
 }
 
-func runFig5(f *flow.Flow, outdir string) {
+func runFig5(ctx context.Context, f *flow.Flow, outdir string) {
 	fmt.Println("=== Figure 5: power and thermal profiles of test set 1 ===")
-	an, err := f.AnalyzeBaseline()
+	an, err := f.AnalyzeBaselineCtx(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -158,12 +176,12 @@ func runFig5(f *flow.Flow, outdir string) {
 	fmt.Println()
 }
 
-func runFig6(f *flow.Flow, sweepOpts core.SweepOptions) {
+func runFig6(ctx context.Context, f *flow.Flow, sweepOpts core.SweepOptions) {
 	fmt.Println("=== Figure 6: thermal efficiency of the various techniques (test set 1) ===")
 	opts := core.DefaultSweepOptions()
 	opts.Workers = sweepOpts.Workers
 	opts.Incremental = sweepOpts.Incremental
-	res, err := core.SweepEfficiency(f, opts)
+	res, err := core.SweepEfficiencyCtx(ctx, f, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -185,7 +203,7 @@ func runFig6(f *flow.Flow, sweepOpts core.SweepOptions) {
 	fmt.Println()
 }
 
-func runTable1(f *flow.Flow, small bool) {
+func runTable1(ctx context.Context, f *flow.Flow, small bool) {
 	fmt.Println("=== Table I: concentrated hotspot, Default vs Empty Row Insertion ===")
 	opts := core.DefaultConcentratedOptions()
 	if small {
@@ -194,7 +212,7 @@ func runTable1(f *flow.Flow, small bool) {
 		// the same area overheads instead.
 		opts.ERIRows = nil
 	}
-	res, err := core.ConcentratedExperiment(f, opts)
+	res, err := core.ConcentratedExperimentCtx(ctx, f, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -214,9 +232,9 @@ func runTable1(f *flow.Flow, small bool) {
 	fmt.Println()
 }
 
-func runTiming(design *netlist.Design, f *flow.Flow) {
+func runTiming(ctx context.Context, design *netlist.Design, f *flow.Flow) {
 	fmt.Println("=== Timing overhead of the transforms (paper: around 2%) ===")
-	base, err := f.AnalyzeBaseline()
+	base, err := f.AnalyzeBaselineCtx(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -244,7 +262,7 @@ func runTiming(design *netlist.Design, f *flow.Flow) {
 	if err != nil {
 		fatal(err)
 	}
-	relAn, err := f.Analyze(relaxed)
+	relAn, err := f.AnalyzeCtx(ctx, relaxed)
 	if err != nil {
 		fatal(err)
 	}
@@ -266,9 +284,9 @@ func runTiming(design *netlist.Design, f *flow.Flow) {
 	fmt.Println()
 }
 
-func runCongestion(f *flow.Flow) {
+func runCongestion(ctx context.Context, f *flow.Flow) {
 	fmt.Println("=== Congestion by-product of empty row insertion (Section III-A) ===")
-	base, err := f.AnalyzeBaseline()
+	base, err := f.AnalyzeBaselineCtx(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -289,6 +307,13 @@ func runCongestion(f *flow.Flow) {
 }
 
 func fatal(err error) {
+	if errors.Is(err, fault.ErrCanceled) {
+		// A signal or the -timeout deadline fired; the pipeline unwound
+		// cleanly (solvers drained, no partial state). 130 is the
+		// conventional interrupted-by-signal exit status.
+		fmt.Fprintln(os.Stderr, "reproduce: canceled:", err)
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "reproduce:", err)
 	os.Exit(1)
 }

@@ -16,17 +16,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"thermplace/internal/bench"
 	"thermplace/internal/celllib"
 	"thermplace/internal/congestion"
 	"thermplace/internal/core"
 	"thermplace/internal/def"
+	"thermplace/internal/fault"
 	"thermplace/internal/flow"
 	"thermplace/internal/netlist"
 	"thermplace/internal/spice"
@@ -55,8 +60,20 @@ func main() {
 		withSweep   = flag.Bool("sweep", false, "additionally run the Figure 6 efficiency sweep on this design/workload")
 		workers     = flag.Int("workers", 0, "concurrent sweep points with -sweep (0 = GOMAXPROCS, 1 = sequential)")
 		incr        = flag.Bool("incremental", false, "with -sweep, derive sweep points incrementally from the baseline (delta-driven pipeline; bit-identical output)")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); Ctrl-C also cancels cleanly")
 	)
 	flag.Parse()
+
+	// A SIGINT/SIGTERM (or the -timeout deadline) cancels the analysis
+	// pipeline cooperatively: in-flight thermal solves abort within a few CG
+	// iterations and every worker goroutine drains before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	lib, err := loadLibrary(*libPath)
 	if err != nil {
@@ -85,7 +102,7 @@ func main() {
 	f := flow.New(design, wl, cfg)
 	defer f.Close()
 
-	an, err := f.AnalyzeBaseline()
+	an, err := f.AnalyzeBaselineCtx(ctx)
 	if err != nil {
 		fatal(err)
 	}
@@ -129,7 +146,7 @@ func main() {
 	}
 
 	if *withSweep {
-		res, err := core.SweepEfficiency(f, core.SweepOptions{
+		res, err := core.SweepEfficiencyCtx(ctx, f, core.SweepOptions{
 			Workers:     *workers,
 			Incremental: *incr,
 		})
@@ -238,6 +255,13 @@ func writeFile(path string, fn func(*os.File) error) error {
 }
 
 func fatal(err error) {
+	if errors.Is(err, fault.ErrCanceled) {
+		// A signal or the -timeout deadline fired; the pipeline unwound
+		// cleanly (solvers drained, no partial state). 130 is the
+		// conventional interrupted-by-signal exit status.
+		fmt.Fprintln(os.Stderr, "thermflow: canceled:", err)
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "thermflow:", err)
 	os.Exit(1)
 }

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"thermplace/internal/fault"
 	"thermplace/internal/flow"
 	"thermplace/internal/hotspot"
 	"thermplace/internal/netlist"
@@ -145,13 +148,28 @@ func wantStrategy(opts SweepOptions, s Strategy) bool {
 // both the values (thermal warm starts are seeded from the baseline field)
 // and the ordering are bit-identical to a Workers=1 run.
 func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
+	return SweepEfficiencyCtx(context.Background(), f, opts)
+}
+
+// SweepEfficiencyCtx is SweepEfficiency with cancellation: the context is
+// threaded into every sweep point's thermal solve (checked per CG
+// iteration), so a mid-sweep cancel aborts the in-flight points within
+// milliseconds and skips the queued ones, returning an error matching
+// fault.ErrCanceled. When the context never fires the sweep result is
+// bit-identical to SweepEfficiency.
+//
+// Point failures carry provenance: the returned error names the design, the
+// strategy and the point index it came from (extractable with errors.As on
+// *fault.ProvenanceError), and a panic inside a point task is contained as a
+// located *fault.ErrPanic rather than crashing the sweep.
+func SweepEfficiencyCtx(ctx context.Context, f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 	if len(opts.Overheads) == 0 {
 		// Default only the overhead range; the caller's Workers, Strategies
 		// and retention settings stay in force.
 		opts.Overheads = DefaultSweepOptions().Overheads
 	}
 	baseUtil := f.Config.Utilization
-	baseline, err := f.AnalyzeBaseline()
+	baseline, err := f.AnalyzeBaselineCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: sweep baseline: %w", err)
 	}
@@ -196,7 +214,14 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 		return pt
 	}
 
-	var tasks []func() error
+	var tasks []func(context.Context) error
+	design := f.Design.Name
+	// provenance tags a point failure with where it came from, so a sweep
+	// over many designs/strategies reports "which point broke", not just
+	// "something broke".
+	provenance := func(err error, s Strategy, point int) error {
+		return fault.WithProvenance(err, design, string(s), point)
+	}
 
 	// One task per overhead: the Default point, then the HW point that
 	// pipelines behind it. Lineage is threaded explicitly: the Default
@@ -214,7 +239,7 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 		hws = make([]*EfficiencyPoint, len(opts.Overheads))
 		for i, ov := range opts.Overheads {
 			i, ov := i, ov
-			tasks = append(tasks, func() error {
+			tasks = append(tasks, func(tctx context.Context) error {
 				util := baseUtil / (1 + ov)
 				var p *place.Placement
 				var delta *place.Delta
@@ -227,12 +252,12 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 					var err error
 					p, err = f.PlaceAt(util)
 					if err != nil {
-						return fmt.Errorf("core: default point %+v: %w", ov, err)
+						return provenance(fmt.Errorf("core: default point %+v: %w", ov, err), StrategyDefault, i)
 					}
 				}
-				an, err := f.AnalyzeWith(p, flow.AnalyzeOptions{Parent: baseline, Delta: delta})
+				an, err := f.AnalyzeWithCtx(tctx, p, flow.AnalyzeOptions{Parent: baseline, Delta: delta})
 				if err != nil {
-					return fmt.Errorf("core: default point %+v: %w", ov, err)
+					return provenance(fmt.Errorf("core: default point %+v: %w", ov, err), StrategyDefault, i)
 				}
 				if wantDefault {
 					defaults[i] = keep(&EfficiencyPoint{
@@ -282,11 +307,11 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 					hp, err = HotspotWrapper(an.Placement, spots, wopts)
 				}
 				if err != nil {
-					return fmt.Errorf("core: HW at overhead %.2f: %w", ov, err)
+					return provenance(fmt.Errorf("core: HW at overhead %.2f: %w", ov, err), StrategyHW, i)
 				}
-				han, err := f.AnalyzeWith(hp, flow.AnalyzeOptions{Parent: an, Delta: hdelta})
+				han, err := f.AnalyzeWithCtx(tctx, hp, flow.AnalyzeOptions{Parent: an, Delta: hdelta})
 				if err != nil {
-					return fmt.Errorf("core: HW at overhead %.2f: %w", ov, err)
+					return provenance(fmt.Errorf("core: HW at overhead %.2f: %w", ov, err), StrategyHW, i)
 				}
 				hws[i] = keep(&EfficiencyPoint{
 					Strategy:      StrategyHW,
@@ -305,7 +330,7 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 	// through the insertion's delta when incremental).
 	for j, rows := range rowCounts {
 		j, rows := j, rows
-		tasks = append(tasks, func() error {
+		tasks = append(tasks, func(tctx context.Context) error {
 			var p *place.Placement
 			var delta *place.Delta
 			var err error
@@ -316,11 +341,11 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 				p, err = EmptyRowInsertion(baseline.Placement, baseline.Hotspots, DefaultERIOptions(rows))
 			}
 			if err != nil {
-				return fmt.Errorf("core: ERI %d rows: %w", rows, err)
+				return provenance(fmt.Errorf("core: ERI %d rows: %w", rows, err), StrategyERI, j)
 			}
-			an, err := f.AnalyzeWith(p, flow.AnalyzeOptions{Parent: baseline, Delta: delta})
+			an, err := f.AnalyzeWithCtx(tctx, p, flow.AnalyzeOptions{Parent: baseline, Delta: delta})
 			if err != nil {
-				return fmt.Errorf("core: ERI %d rows: %w", rows, err)
+				return provenance(fmt.Errorf("core: ERI %d rows: %w", rows, err), StrategyERI, j)
 			}
 			eris[j] = keep(&EfficiencyPoint{
 				Strategy:      StrategyERI,
@@ -334,7 +359,7 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 		})
 	}
 
-	if err := runTasks(tasks, opts.Workers); err != nil {
+	if err := runTasks(ctx, tasks, opts.Workers); err != nil {
 		return nil, err
 	}
 
@@ -359,20 +384,36 @@ func SweepEfficiency(f *flow.Flow, opts SweepOptions) (*SweepResult, error) {
 }
 
 // runTasks executes the tasks on a bounded worker group. workers <= 0 picks
-// GOMAXPROCS; workers == 1 runs the tasks inline in order. An error aborts
-// the tasks that have not started yet; the lowest-index error among the
-// tasks that did run is returned (with several concurrent failures, which
-// tasks got to run — and hence which error surfaces — can vary).
-func runTasks(tasks []func() error, workers int) error {
+// GOMAXPROCS; workers == 1 runs the tasks inline in order.
+//
+// A failed task aborts the rest of the group: tasks that have not started
+// yet are skipped, and the in-flight siblings are canceled through the
+// derived context every task receives (each task checks it inside its
+// thermal solve, so a long-running sibling aborts within milliseconds
+// instead of running to completion). The lowest-index genuine error among
+// the tasks that ran is returned; a sibling that merely reports the
+// abort-cancellation never masks the failure that triggered it, even when it
+// ran at a lower index. An external cancellation of ctx aborts the same way
+// and surfaces as an error matching fault.ErrCanceled.
+//
+// A panic inside a task is contained as a located *fault.ErrPanic and
+// treated exactly like any other task error — the sweep caller gets an
+// error, not a crash, and no worker goroutine is lost.
+func runTasks(ctx context.Context, tasks []func(context.Context) error, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	tctx, tcancel := context.WithCancel(ctx)
+	defer tcancel()
 	if workers <= 1 {
-		for _, t := range tasks {
-			if err := t(); err != nil {
+		for i, t := range tasks {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("core: sweep: %w", fault.Canceled(cerr))
+			}
+			if err := runOneTask(tctx, i, t); err != nil {
 				return err
 			}
 		}
@@ -390,9 +431,10 @@ func runTasks(tasks []func() error, workers int) error {
 				if failed.Load() {
 					continue
 				}
-				if err := tasks[idx](); err != nil {
+				if err := runOneTask(tctx, idx, tasks[idx]); err != nil {
 					errs[idx] = err
 					failed.Store(true)
+					tcancel() // abort the in-flight siblings
 				}
 			}
 		}()
@@ -402,12 +444,42 @@ func runTasks(tasks []func() error, workers int) error {
 	}
 	close(next)
 	wg.Wait()
+
+	// Prefer the lowest-index error that is not itself the
+	// abort-cancellation: with workers > 1, a sibling at a lower index may
+	// legitimately fail with ErrCanceled as a *consequence* of the real
+	// failure, and returning it would hide the cause.
+	var canceled error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, fault.ErrCanceled) {
+			if canceled == nil {
+				canceled = err
+			}
+			continue
+		}
+		return err
 	}
-	return nil
+	if cerr := ctx.Err(); cerr != nil {
+		// The caller's context fired: every error above (if any) is the
+		// cancellation itself.
+		return fmt.Errorf("core: sweep: %w", fault.Canceled(cerr))
+	}
+	return canceled
+}
+
+// runOneTask runs one sweep task, containing a panic as a located typed
+// error so a crashing point cannot take down the worker group.
+func runOneTask(ctx context.Context, idx int, task func(context.Context) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("core: sweep task %d: %w", idx,
+				fault.Recovered(fmt.Sprintf("core sweep task %d", idx), v))
+		}
+	}()
+	return task(ctx)
 }
 
 // ConcentratedRow is one row of the paper's Table I.
@@ -453,10 +525,18 @@ type ConcentratedResult struct {
 // (the wrapper method "is not suitable for large hotspots", so it is not
 // part of this experiment, exactly as in the paper).
 func ConcentratedExperiment(f *flow.Flow, opts ConcentratedOptions) (*ConcentratedResult, error) {
+	return ConcentratedExperimentCtx(context.Background(), f, opts)
+}
+
+// ConcentratedExperimentCtx is ConcentratedExperiment with cancellation: the
+// context is threaded into every row's thermal solve, so a cancel aborts the
+// experiment mid-row with an error matching fault.ErrCanceled. When the
+// context never fires the result is bit-identical to ConcentratedExperiment.
+func ConcentratedExperimentCtx(ctx context.Context, f *flow.Flow, opts ConcentratedOptions) (*ConcentratedResult, error) {
 	if len(opts.Overheads) == 0 {
 		opts = DefaultConcentratedOptions()
 	}
-	baseline, err := f.AnalyzeBaseline()
+	baseline, err := f.AnalyzeBaselineCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: concentrated baseline: %w", err)
 	}
@@ -473,7 +553,7 @@ func ConcentratedExperiment(f *flow.Flow, opts ConcentratedOptions) (*Concentrat
 		if err != nil {
 			return nil, err
 		}
-		an, err := f.Analyze(p)
+		an, err := f.AnalyzeCtx(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -498,7 +578,7 @@ func ConcentratedExperiment(f *flow.Flow, opts ConcentratedOptions) (*Concentrat
 		if err != nil {
 			return nil, err
 		}
-		an, err := f.Analyze(p)
+		an, err := f.AnalyzeCtx(ctx, p)
 		if err != nil {
 			return nil, err
 		}

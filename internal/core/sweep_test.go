@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -17,17 +18,17 @@ import (
 func TestRunTasksErrorSelection(t *testing.T) {
 	sentinel := errors.New("task 2 failed")
 	for _, workers := range []int{1, 3, 16} {
-		tasks := make([]func() error, 6)
+		tasks := make([]func(context.Context) error, 6)
 		for i := range tasks {
 			i := i
-			tasks[i] = func() error {
+			tasks[i] = func(context.Context) error {
 				if i == 2 {
 					return sentinel
 				}
 				return nil
 			}
 		}
-		if err := runTasks(tasks, workers); !errors.Is(err, sentinel) {
+		if err := runTasks(context.Background(), tasks, workers); !errors.Is(err, sentinel) {
 			t.Fatalf("workers=%d: got %v, want the single failing task's error", workers, err)
 		}
 	}
@@ -36,11 +37,11 @@ func TestRunTasksErrorSelection(t *testing.T) {
 	// first; concurrent runs may skip later tasks after the first failure
 	// but must still return one of the injected errors.
 	e1, e3 := errors.New("t1"), errors.New("t3")
-	mkTasks := func() []func() error {
-		tasks := make([]func() error, 5)
+	mkTasks := func() []func(context.Context) error {
+		tasks := make([]func(context.Context) error, 5)
 		for i := range tasks {
 			i := i
-			tasks[i] = func() error {
+			tasks[i] = func(context.Context) error {
 				switch i {
 				case 1:
 					return e1
@@ -52,10 +53,10 @@ func TestRunTasksErrorSelection(t *testing.T) {
 		}
 		return tasks
 	}
-	if err := runTasks(mkTasks(), 1); !errors.Is(err, e1) {
+	if err := runTasks(context.Background(), mkTasks(), 1); !errors.Is(err, e1) {
 		t.Fatalf("sequential run must return the first error, got %v", err)
 	}
-	if err := runTasks(mkTasks(), 4); !errors.Is(err, e1) && !errors.Is(err, e3) {
+	if err := runTasks(context.Background(), mkTasks(), 4); !errors.Is(err, e1) && !errors.Is(err, e3) {
 		t.Fatalf("concurrent run returned an unexpected error: %v", err)
 	}
 }
@@ -65,11 +66,11 @@ func TestRunTasksErrorSelection(t *testing.T) {
 func TestRunTasksWorkerClamping(t *testing.T) {
 	for _, workers := range []int{-3, 0, 1, 2, 64} {
 		var ran atomic.Int32
-		tasks := make([]func() error, 3)
+		tasks := make([]func(context.Context) error, 3)
 		for i := range tasks {
-			tasks[i] = func() error { ran.Add(1); return nil }
+			tasks[i] = func(context.Context) error { ran.Add(1); return nil }
 		}
-		if err := runTasks(tasks, workers); err != nil {
+		if err := runTasks(context.Background(), tasks, workers); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if got := ran.Load(); got != 3 {

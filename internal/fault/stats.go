@@ -1,0 +1,74 @@
+package fault
+
+import "sync/atomic"
+
+// Stats counts the robustness events of one analysis owner (a flow, or a
+// standalone thermal solver): every graceful degradation, contained panic
+// and cancellation is recorded here so callers can observe that a result was
+// produced on a fallback path. All methods are safe for concurrent use and
+// nil-safe, so solvers can record unconditionally whether or not an owner
+// attached a Stats.
+type Stats struct {
+	mgSetupFailures atomic.Uint64
+	solveRetries    atomic.Uint64
+	panicsContained atomic.Uint64
+	canceled        atomic.Uint64
+}
+
+// AddMGSetupFailure records a multigrid setup/refresh failure that degraded
+// the solver to the Jacobi preconditioner.
+func (s *Stats) AddMGSetupFailure() {
+	if s != nil {
+		s.mgSetupFailures.Add(1)
+	}
+}
+
+// AddSolveRetry records a non-converged preconditioned solve retried on the
+// Jacobi fallback with a raised iteration budget.
+func (s *Stats) AddSolveRetry() {
+	if s != nil {
+		s.solveRetries.Add(1)
+	}
+}
+
+// AddPanicContained records a panic converted into a typed error instead of
+// crashing the process.
+func (s *Stats) AddPanicContained() {
+	if s != nil {
+		s.panicsContained.Add(1)
+	}
+}
+
+// AddCanceled records a solve or analysis aborted by its context.
+func (s *Stats) AddCanceled() {
+	if s != nil {
+		s.canceled.Add(1)
+	}
+}
+
+// StatsSnapshot is a plain-value copy of the counters at one instant.
+type StatsSnapshot struct {
+	// MGSetupFailures counts multigrid setup/refresh failures degraded to
+	// the Jacobi preconditioner.
+	MGSetupFailures uint64
+	// SolveRetries counts non-converged solves retried with Jacobi and a
+	// raised iteration budget.
+	SolveRetries uint64
+	// PanicsContained counts panics converted into typed errors.
+	PanicsContained uint64
+	// Canceled counts solves aborted by context cancellation.
+	Canceled uint64
+}
+
+// Snapshot returns the current counter values; a nil Stats reads as zero.
+func (s *Stats) Snapshot() StatsSnapshot {
+	if s == nil {
+		return StatsSnapshot{}
+	}
+	return StatsSnapshot{
+		MGSetupFailures: s.mgSetupFailures.Load(),
+		SolveRetries:    s.solveRetries.Load(),
+		PanicsContained: s.panicsContained.Load(),
+		Canceled:        s.canceled.Load(),
+	}
+}

@@ -1,0 +1,128 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"thermplace/internal/fault"
+)
+
+// TestAnalyzeCtxBitIdenticalAndCancelable covers both halves of the context
+// contract at the flow layer: a context that never fires leaves every float
+// of the analysis identical to Analyze, and a canceled context aborts with a
+// typed error without leaking the pooled solver's goroutines.
+func TestAnalyzeCtxBitIdenticalAndCancelable(t *testing.T) {
+	base := runtime.NumGoroutine()
+	f := smallFlow(t)
+	p, err := f.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, liveCancel := context.WithCancel(context.Background())
+	defer liveCancel()
+	got, err := f.AnalyzeCtx(live, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Thermal.PeakC != want.Thermal.PeakC || got.Thermal.GradientC != want.Thermal.GradientC {
+		t.Fatalf("AnalyzeCtx differs from Analyze: peak %v vs %v, gradient %v vs %v",
+			got.Thermal.PeakC, want.Thermal.PeakC, got.Thermal.GradientC, want.Thermal.GradientC)
+	}
+	gv, wv := got.Thermal.Surface.Values(), want.Thermal.Surface.Values()
+	for i := range gv {
+		if gv[i] != wv[i] {
+			t.Fatalf("surface cell %d differs: %g vs %g", i, gv[i], wv[i])
+		}
+	}
+
+	// Cancellation before the solve surfaces as fault.ErrCanceled. A stalled
+	// solve is exercised separately via the injector.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.AnalyzeCtx(ctx, p); !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("canceled analysis did not report fault.ErrCanceled: %v", err)
+	}
+	f.Close()
+	waitGoroutines(t, base)
+}
+
+// TestAnalyzeCancelMidSolveNoLeak cancels an analysis stalled inside the
+// thermal solve (injected stall on the first solve) and asserts the typed
+// error, the per-flow stats, and that Close after the cancel leaks nothing.
+func TestAnalyzeCancelMidSolveNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	f := smallFlow(t)
+	f.Config.Thermal.Inject = &fault.Injector{StallCGSolveN: 1}
+	p, err := f.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(20*time.Millisecond, cancel)
+	defer timer.Stop()
+	if _, err := f.AnalyzeCtx(ctx, p); !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("stalled analysis did not report fault.ErrCanceled: %v", err)
+	}
+	if f.FaultStats().Canceled == 0 {
+		t.Fatal("cancellation not aggregated into the per-flow fault.Stats")
+	}
+
+	// The flow recovers: the next analysis (solve 2, not stalled) succeeds.
+	if _, err := f.AnalyzeCtx(context.Background(), p); err != nil {
+		t.Fatalf("analysis after cancellation: %v", err)
+	}
+	f.Close()
+	waitGoroutines(t, base)
+}
+
+// TestCorruptPowerMapDetected asserts that an injected corruption of the
+// power profile is caught before the thermal solve, as a typed setup error
+// naming the power-map stage.
+func TestCorruptPowerMapDetected(t *testing.T) {
+	f := smallFlow(t)
+	defer f.Close()
+	f.Config.Thermal.Inject = &fault.Injector{CorruptPowerW: math.NaN()}
+	p, err := f.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aerr := f.Analyze(p)
+	if aerr == nil {
+		t.Fatal("corrupted power map reached the thermal solver undetected")
+	}
+	var se *fault.ErrSetup
+	if !errors.As(aerr, &se) || se.Stage != "power-map" {
+		t.Fatalf("corruption not reported as a power-map setup error: %v", aerr)
+	}
+
+	// The injector corrupts only the first map: the next analysis is clean.
+	if _, err := f.Analyze(p); err != nil {
+		t.Fatalf("analysis after contained corruption: %v", err)
+	}
+}
+
+// TestFlowAggregatesSolverFaults asserts that solver-level degradations are
+// visible through Flow.FaultStats.
+func TestFlowAggregatesSolverFaults(t *testing.T) {
+	f := smallFlow(t)
+	defer f.Close()
+	f.Config.Thermal.Inject = &fault.Injector{FailCGSolveN: 1}
+	p, err := f.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Analyze(p); err != nil {
+		t.Fatalf("degraded analysis failed instead of retrying: %v", err)
+	}
+	if got := f.FaultStats().SolveRetries; got != 1 {
+		t.Fatalf("FaultStats().SolveRetries = %d, want 1", got)
+	}
+}

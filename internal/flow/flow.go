@@ -7,12 +7,15 @@
 package flow
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"thermplace/internal/bench"
+	"thermplace/internal/fault"
 	"thermplace/internal/floorplan"
 	"thermplace/internal/geom"
 	"thermplace/internal/hotspot"
@@ -158,7 +161,18 @@ type Flow struct {
 	// solves skipped by the power-delta gate.
 	stateSeq  atomic.Uint64
 	gateSkips atomic.Uint64
+
+	// stats aggregates the robustness counters of every solver the flow
+	// runs — degradations, retries, contained panics, cancellations. It is
+	// wired into each pooled solver unless Config.Thermal.Stats supplies an
+	// external collector.
+	stats fault.Stats
 }
+
+// FaultStats returns a snapshot of the flow's robustness counters: multigrid
+// degradations, Jacobi retries, contained panics and observed cancellations
+// across every thermal solve the flow has run.
+func (f *Flow) FaultStats() fault.StatsSnapshot { return f.stats.Snapshot() }
 
 // pooledSolver pairs a pooled thermal solver with the identity of the
 // temperature field it currently holds.
@@ -288,9 +302,16 @@ type lineageSeed struct {
 // On success it returns the solved temperature field (a copy, in solver
 // node order) and its identity tag, for the caller to hand to child
 // analyses as their lineage seed.
-func (f *Flow) thermalSolve(pm *geom.Grid, tcfg thermal.Config, seed *lineageSeed) (*thermal.Result, []float64, uint64, error) {
+func (f *Flow) thermalSolve(ctx context.Context, pm *geom.Grid, tcfg thermal.Config, seed *lineageSeed) (*thermal.Result, []float64, uint64, error) {
+	if tcfg.Stats == nil {
+		// Aggregate solver robustness events into the per-flow counters
+		// unless the caller wired an external collector. Stats (like Inject)
+		// is deliberately outside thermal.Config.Equal, so this does not
+		// invalidate the solver pool.
+		tcfg.Stats = &f.stats
+	}
 	if !tcfg.FastPath() {
-		res, err := thermal.Solve(pm, tcfg)
+		res, err := thermal.SolveCtx(ctx, pm, tcfg)
 		return res, nil, 0, err
 	}
 	ps, defSeed, err := f.acquireSolver(tcfg)
@@ -306,7 +327,7 @@ func (f *Flow) thermalSolve(pm *geom.Grid, tcfg thermal.Config, seed *lineageSee
 		}
 		ps.stateID = seed.id
 	}
-	res, err := ps.s.Solve(pm)
+	res, err := ps.s.SolveCtx(ctx, pm)
 	var state []float64
 	var stateID uint64
 	if err == nil {
@@ -454,7 +475,16 @@ type AnalyzeOptions struct {
 // analyzed once (which warms the cache — the baseline in a sweep is exactly
 // that case). Distinct placements need no coordination.
 func (f *Flow) Analyze(p *place.Placement) (*Analysis, error) {
-	return f.AnalyzeWith(p, AnalyzeOptions{})
+	return f.AnalyzeWithCtx(context.Background(), p, AnalyzeOptions{})
+}
+
+// AnalyzeCtx is Analyze with cancellation: the context is threaded into the
+// thermal solve (checked per CG iteration), so even a large analysis aborts
+// within milliseconds of the context firing, returning an error matching
+// fault.ErrCanceled. When the context never fires the analysis is
+// bit-identical to Analyze.
+func (f *Flow) AnalyzeCtx(ctx context.Context, p *place.Placement) (*Analysis, error) {
+	return f.AnalyzeWithCtx(ctx, p, AnalyzeOptions{})
 }
 
 // AnalyzeWith is Analyze with explicit lineage: the delta-driven analysis
@@ -466,9 +496,17 @@ func (f *Flow) Analyze(p *place.Placement) (*Analysis, error) {
 // values as the from-scratch pipeline — bit-identical, except under a
 // positive gate, which is documented as an approximation.
 func (f *Flow) AnalyzeWith(p *place.Placement, opts AnalyzeOptions) (*Analysis, error) {
+	return f.AnalyzeWithCtx(context.Background(), p, opts)
+}
+
+// AnalyzeWithCtx is AnalyzeWith with cancellation (see AnalyzeCtx).
+func (f *Flow) AnalyzeWithCtx(ctx context.Context, p *place.Placement, opts AnalyzeOptions) (*Analysis, error) {
 	if par := opts.Parent; par != nil && opts.Delta != nil && opts.Delta.Empty() && par.Placement == p {
 		// Zero-delta no-op: the parent already measured this placement.
 		return par, nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("flow: analysis: %w", fault.Canceled(cerr))
 	}
 	est, err := f.estimator()
 	if err != nil {
@@ -482,6 +520,10 @@ func (f *Flow) AnalyzeWith(p *place.Placement, opts AnalyzeOptions) (*Analysis, 
 	}
 	tcfg := f.Config.Thermal
 	pm := power.Map(rep, p, tcfg.NX, tcfg.NY)
+	tcfg.Inject.CorruptPower(pm.Values())
+	if err := validatePowerMap(pm); err != nil {
+		return nil, err
+	}
 
 	// The gate only arms on the delta-driven path (opts.Delta != nil, i.e.
 	// an incremental sweep): a lineage-seeded but delta-less analysis is
@@ -510,7 +552,7 @@ func (f *Flow) AnalyzeWith(p *place.Placement, opts AnalyzeOptions) (*Analysis, 
 	if par := opts.Parent; par != nil && par.state != nil {
 		seed = &lineageSeed{field: par.state, id: par.stateID}
 	}
-	tres, state, stateID, err := f.thermalSolve(pm, tcfg, seed)
+	tres, state, stateID, err := f.thermalSolve(ctx, pm, tcfg, seed)
 	if err != nil {
 		return nil, fmt.Errorf("flow: thermal simulation: %w", err)
 	}
@@ -542,6 +584,23 @@ func (f *Flow) estimator() (*power.Estimator, error) {
 	return f.est, nil
 }
 
+// validatePowerMap rejects a power profile that cannot be physical — a NaN,
+// infinite or negative per-cell power — before it reaches the thermal
+// solver, where it would silently produce a garbage temperature field (CG
+// happily "converges" on NaN-free nonsense for a mildly corrupted RHS). This
+// is the detection point for the fault harness' corrupted-power injection.
+func validatePowerMap(pm *geom.Grid) error {
+	for i, v := range pm.Values() {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("flow: %w", &fault.ErrSetup{
+				Stage: "power-map",
+				Err:   fmt.Errorf("cell %d holds non-physical power %g W", i, v),
+			})
+		}
+	}
+	return nil
+}
+
 // linfDiff returns the largest absolute per-cell difference between two
 // equally sized grids.
 func linfDiff(a, b *geom.Grid) float64 {
@@ -565,6 +624,12 @@ func linfDiff(a, b *geom.Grid) float64 {
 // zero-delta no-op returns it directly. The cached analysis is shared;
 // callers must treat it as read-only.
 func (f *Flow) AnalyzeBaseline() (*Analysis, error) {
+	return f.AnalyzeBaselineCtx(context.Background())
+}
+
+// AnalyzeBaselineCtx is AnalyzeBaseline with cancellation (see AnalyzeCtx).
+// A cached baseline analysis is returned without consulting the context.
+func (f *Flow) AnalyzeBaselineCtx(ctx context.Context) (*Analysis, error) {
 	p, err := f.Baseline()
 	if err != nil {
 		return nil, err
@@ -578,7 +643,7 @@ func (f *Flow) AnalyzeBaseline() (*Analysis, error) {
 		return an, nil
 	}
 	f.mu.Unlock()
-	an, err := f.Analyze(p)
+	an, err := f.AnalyzeCtx(ctx, p)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,11 @@
 package sparse
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"thermplace/internal/fault"
 )
 
 // Preconditioner approximates the inverse of the solver's matrix. Apply must
@@ -13,6 +16,18 @@ import (
 type Preconditioner interface {
 	// Apply sets z ≈ A⁻¹r. r must not be modified.
 	Apply(r, z []float64)
+}
+
+// CtxPreconditioner is a Preconditioner that can abort mid-application when
+// a context fires. SolveCtx prefers ApplyCtx when the preconditioner
+// implements it, so a cancellation lands inside an expensive application
+// (e.g. between multigrid cycles) rather than only between CG iterations.
+// When the context never fires, ApplyCtx must be exactly Apply.
+type CtxPreconditioner interface {
+	Preconditioner
+	// ApplyCtx sets z ≈ A⁻¹r, or returns a fault.ErrCanceled-matching error
+	// (leaving z unspecified) once ctx fires.
+	ApplyCtx(ctx context.Context, r, z []float64) error
 }
 
 // CGOptions tunes the conjugate-gradient solver.
@@ -140,6 +155,22 @@ func NewCG(m *SymCSR, opt CGOptions) *CG {
 // Workers returns the degree of parallelism the solver settled on.
 func (c *CG) Workers() int { return c.workers }
 
+// SetPrecond replaces the preconditioner for subsequent solves (nil restores
+// the built-in Jacobi). The thermal solver's degradation path uses it to
+// retry a non-converged multigrid-preconditioned solve on plain Jacobi.
+func (c *CG) SetPrecond(p Preconditioner) { c.opt.Precond = p }
+
+// MaxIterations returns the current iteration budget.
+func (c *CG) MaxIterations() int { return c.opt.MaxIterations }
+
+// SetMaxIterations replaces the iteration budget for subsequent solves;
+// n <= 0 is ignored.
+func (c *CG) SetMaxIterations(n int) {
+	if n > 0 {
+		c.opt.MaxIterations = n
+	}
+}
+
 // Close stops the persistent worker goroutines of a privately owned pool
 // (a shared CGOptions.Pool is left running for its owner to close).
 // Subsequent Solve calls still work but run serially on the calling
@@ -152,8 +183,29 @@ func (c *CG) Close() {
 
 // Solve solves A*x = b, using the incoming contents of x as the initial
 // guess (warm start). On success x holds the solution; it returns the
-// iteration count and the final relative residual.
+// iteration count and the final relative residual. It is SolveCtx with a
+// context that never fires.
 func (c *CG) Solve(b, x []float64) (iters int, residual float64, err error) {
+	return c.SolveCtx(context.Background(), b, x)
+}
+
+// SolveCtx is Solve with cancellation: the context is checked once per CG
+// iteration (and, with a CtxPreconditioner, once per preconditioner cycle),
+// so even a large solve aborts within a few matrix-vector products of the
+// context firing. An abort returns an error matching fault.ErrCanceled and
+// leaves x mid-iteration — do not warm-start from it. When the context never
+// fires, the iteration is bit-identical to Solve.
+//
+// A panic inside the solve — in a worker task, or in the preconditioner —
+// is contained and returned as a located *fault.ErrPanic instead of
+// crashing the caller; the solver and its pool remain usable.
+func (c *CG) SolveCtx(ctx context.Context, b, x []float64) (iters int, residual float64, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			iters, residual = 0, 0
+			err = fault.Recovered("sparse.CG.Solve", v)
+		}
+	}()
 	n := c.m.N
 	if len(b) != n || len(x) != n {
 		return 0, 0, fmt.Errorf("sparse: vector length %d/%d does not match matrix size %d", len(b), len(x), n)
@@ -174,14 +226,26 @@ func (c *CG) Solve(b, x []float64) (iters int, residual float64, err error) {
 	c.b, c.x = b, x
 	defer func() { c.b, c.x = nil, nil }()
 
+	// done != nil only for cancelable contexts: Background/TODO skip the
+	// per-iteration check entirely, keeping the never-fires path free.
+	done := ctx.Done()
+
 	rr := c.run(opResidual)
 	residual = math.Sqrt(rr) / bnorm
 	if residual <= c.opt.Tolerance {
 		return 0, residual, nil
 	}
-	rz := c.precond()
+	rz, perr := c.precond(ctx)
+	if perr != nil {
+		return 0, residual, perr
+	}
 	copy(c.p, c.z)
 	for iters = 1; iters <= c.opt.MaxIterations; iters++ {
+		if done != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return iters - 1, residual, fault.Canceled(cerr)
+			}
+		}
 		c.run(opMatVec)
 		pap := c.run(opDotPAp)
 		if pap <= 0 {
@@ -193,23 +257,34 @@ func (c *CG) Solve(b, x []float64) (iters int, residual float64, err error) {
 		if residual <= c.opt.Tolerance {
 			return iters, residual, nil
 		}
-		rzNew := c.precond()
+		rzNew, perr := c.precond(ctx)
+		if perr != nil {
+			return iters, residual, perr
+		}
 		c.beta = rzNew / rz
 		rz = rzNew
 		c.run(opUpdateP)
 	}
-	return iters - 1, residual, fmt.Errorf("sparse: CG did not converge in %d iterations (residual %g)", c.opt.MaxIterations, residual)
+	return c.opt.MaxIterations, residual, fmt.Errorf("sparse: CG: %w",
+		&fault.ErrNotConverged{Iters: c.opt.MaxIterations, Residual: residual})
 }
 
 // precond computes z = M⁻¹r and returns r·z: fused with the reduction for
 // the built-in Jacobi, a preconditioner call plus a reduction pass
-// otherwise.
-func (c *CG) precond() float64 {
+// otherwise. A CtxPreconditioner is given the context so cancellation can
+// land between its internal cycles.
+func (c *CG) precond(ctx context.Context) (float64, error) {
 	if c.opt.Precond == nil {
-		return c.run(opPrecond)
+		return c.run(opPrecond), nil
 	}
-	c.opt.Precond.Apply(c.r, c.z)
-	return c.run(opDotRZ)
+	if cp, ok := c.opt.Precond.(CtxPreconditioner); ok && ctx.Done() != nil {
+		if err := cp.ApplyCtx(ctx, c.r, c.z); err != nil {
+			return 0, err
+		}
+	} else {
+		c.opt.Precond.Apply(c.r, c.z)
+	}
+	return c.run(opDotRZ), nil
 }
 
 // run executes one op over all rows, either inline or on the worker pool,

@@ -1,8 +1,11 @@
 package sparse
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"thermplace/internal/fault"
 )
 
 // MGOptions tunes the geometric multigrid preconditioner.
@@ -60,6 +63,13 @@ type MGOptions struct {
 type MG struct {
 	levels []*mgLevel
 	opt    MGOptions
+
+	// ctx and ctxErr carry the cancellation state of an ApplyCtx in flight:
+	// cycle checks ctx at every level entry and records the abort in ctxErr,
+	// unwinding without touching the remaining levels. Both are nil for
+	// plain Apply.
+	ctx    context.Context
+	ctxErr error
 }
 
 type mgLevel struct {
@@ -108,7 +118,8 @@ type mgLevel struct {
 // again after every in-place value change).
 func NewMG(m *SymCSR, nx, ny, nl int, opt MGOptions) (*MG, error) {
 	if nx < 1 || ny < 1 || nl < 1 || nx*ny*nl != m.N {
-		return nil, fmt.Errorf("sparse: MG grid %dx%dx%d does not match matrix size %d", nx, ny, nl, m.N)
+		return nil, &fault.ErrSetup{Stage: "grid",
+			Err: fmt.Errorf("sparse: MG grid %dx%dx%d does not match matrix size %d", nx, ny, nl, m.N)}
 	}
 	if opt.PreSmooth <= 0 {
 		opt.PreSmooth = 1
@@ -117,7 +128,8 @@ func NewMG(m *SymCSR, nx, ny, nl int, opt MGOptions) (*MG, error) {
 	// CG would silently diverge. Reject the misconfiguration instead of
 	// ignoring the field.
 	if opt.PostSmooth > 0 && opt.PostSmooth != opt.PreSmooth {
-		return nil, fmt.Errorf("sparse: MG needs PostSmooth == PreSmooth for a symmetric cycle (got %d/%d)", opt.PreSmooth, opt.PostSmooth)
+		return nil, &fault.ErrSetup{Stage: "smoother",
+			Err: fmt.Errorf("sparse: MG needs PostSmooth == PreSmooth for a symmetric cycle (got %d/%d)", opt.PreSmooth, opt.PostSmooth)}
 	}
 	opt.PostSmooth = opt.PreSmooth
 	if opt.CoarsestN <= 0 {
@@ -133,7 +145,9 @@ func NewMG(m *SymCSR, nx, ny, nl int, opt MGOptions) (*MG, error) {
 			break // cannot coarsen further (nx = ny = 1)
 		}
 		coarse := newMGLevel(NewStencil7(nxc, nyc, lv.nl), nxc, nyc, lv.nl)
-		lv.buildCoarsening(coarse)
+		if err := lv.buildCoarsening(coarse); err != nil {
+			return nil, &fault.ErrSetup{Stage: "coarsen", Err: err}
+		}
 		g.levels = append(g.levels, coarse)
 		lv = coarse
 	}
@@ -235,8 +249,12 @@ func newMGLevel(m *SymCSR, nx, ny, nl int) *mgLevel {
 }
 
 // buildCoarsening computes the aggregate map onto coarse and the Galerkin
-// scatter target of every fine off-diagonal entry.
-func (lv *mgLevel) buildCoarsening(coarse *mgLevel) {
+// scatter target of every fine off-diagonal entry. It reports an error —
+// rather than panicking — when the matrix is not the 7-point stencil of the
+// claimed grid (every crossing link of a true stencil lands on a 7-point
+// coarse neighbour by construction, so a miss means the caller's geometry
+// and matrix disagree).
+func (lv *mgLevel) buildCoarsening(coarse *mgLevel) error {
 	lv.parent = make([]int32, lv.m.N)
 	for l := 0; l < lv.nl; l++ {
 		for iy := 0; iy < lv.ny; iy++ {
@@ -264,13 +282,13 @@ func (lv *mgLevel) buildCoarsening(coarse *mgLevel) {
 				}
 			}
 			if t < 0 {
-				// The aggregates preserve grid adjacency, so every crossing
-				// link lands on a 7-point coarse neighbour by construction.
-				panic(fmt.Sprintf("sparse: MG coarse entry (%d,%d) missing", pi, pj))
+				return fmt.Errorf("sparse: MG coarse entry (%d,%d) missing: matrix is not the 7-point stencil of a %dx%dx%d grid",
+					pi, pj, lv.nx, lv.ny, lv.nl)
 			}
 			lv.offTarget[k] = t
 		}
 	}
+	return nil
 }
 
 // Refresh rebuilds the coarse-level operators from the current fine-matrix
@@ -297,7 +315,10 @@ func (g *MG) Refresh() error {
 			}
 		}
 	}
-	return g.levels[len(g.levels)-1].factorize()
+	if err := g.levels[len(g.levels)-1].factorize(); err != nil {
+		return &fault.ErrSetup{Stage: "factorize", Err: err}
+	}
+	return nil
 }
 
 // factorize computes the dense Cholesky factor of the coarsest operator.
@@ -363,12 +384,39 @@ func (g *MG) Apply(r, z []float64) {
 	g.cycle(0, r, z)
 }
 
+// ApplyCtx is Apply with cancellation: the context is checked at every level
+// entry of the (recursive) cycle, so an abort lands within one smoothing
+// sweep of the context firing even on the largest grids. On cancellation it
+// returns an error matching fault.ErrCanceled and leaves z unspecified; the
+// enclosing CG iteration discards it and aborts. With a context that never
+// fires, ApplyCtx is exactly Apply.
+func (g *MG) ApplyCtx(ctx context.Context, r, z []float64) error {
+	if ctx.Done() == nil {
+		g.cycle(0, r, z)
+		return nil
+	}
+	g.ctx, g.ctxErr = ctx, nil
+	g.cycle(0, r, z)
+	err := g.ctxErr
+	g.ctx, g.ctxErr = nil, nil
+	return err
+}
+
 // Levels returns the depth of the hierarchy (1 = direct solve only).
 func (g *MG) Levels() int { return len(g.levels) }
 
 // cycle runs the V-cycle at one level: x = (approximate A⁻¹)·b with a zero
 // initial iterate.
 func (g *MG) cycle(l int, b, x []float64) {
+	if g.ctx != nil {
+		if g.ctxErr != nil {
+			return // already aborted: unwind without more work
+		}
+		if cerr := g.ctx.Err(); cerr != nil {
+			g.ctxErr = fault.Canceled(cerr)
+			return
+		}
+	}
 	lv := g.levels[l]
 	if lv.chol != nil {
 		lv.solveDirect(b, x)

@@ -1,8 +1,11 @@
 package sparse
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+
+	"thermplace/internal/fault"
 )
 
 // Pool is a set of parked worker goroutines executing row-partitioned
@@ -22,6 +25,11 @@ type Pool struct {
 	partial []float64
 	started bool
 	closed  bool
+
+	// panicMu guards panicErr, the first panic a worker contained during
+	// the run in flight; Run rethrows it on the calling goroutine.
+	panicMu  sync.Mutex
+	panicErr *fault.ErrPanic
 }
 
 // NewPool creates a pool of the given size. workers <= 0 picks GOMAXPROCS.
@@ -77,12 +85,25 @@ func (p *Pool) Parallel(k int) bool {
 // per-worker results summed in worker order (so reductions are bit-stable
 // for a fixed k). Callers must have obtained Parallel(k) == true; k must
 // not exceed Workers().
+//
+// A panic inside a task does not kill the worker goroutine or deadlock the
+// sibling workers: the worker contains it, the siblings finish their ranges,
+// and Run rethrows the first contained panic — as a located *fault.ErrPanic
+// — on the calling goroutine, where the owning solver's recovery converts it
+// into an ordinary error. The pool stays usable afterwards.
 func (p *Pool) Run(k int, task func(w int) float64) float64 {
 	p.wg.Add(k)
 	for w := 0; w < k; w++ {
 		p.ops[w] <- task
 	}
 	p.wg.Wait()
+	p.panicMu.Lock()
+	pe := p.panicErr
+	p.panicErr = nil
+	p.panicMu.Unlock()
+	if pe != nil {
+		panic(pe)
+	}
 	sum := 0.0
 	for w := 0; w < k; w++ {
 		sum += p.partial[w*padStride]
@@ -92,9 +113,24 @@ func (p *Pool) Run(k int, task func(w int) float64) float64 {
 
 func (p *Pool) worker(w int) {
 	for task := range p.ops[w] {
-		p.partial[w*padStride] = task(w)
-		p.wg.Done()
+		p.runTask(w, task)
 	}
+}
+
+// runTask executes one task, containing a panic so the worker survives and
+// the barrier in Run is always released.
+func (p *Pool) runTask(w int, task func(w int) float64) {
+	defer p.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			p.panicMu.Lock()
+			if p.panicErr == nil {
+				p.panicErr = fault.Recovered(fmt.Sprintf("sparse.Pool worker %d", w), v)
+			}
+			p.panicMu.Unlock()
+		}
+	}()
+	p.partial[w*padStride] = task(w)
 }
 
 // Close stops the worker goroutines. Operations issued afterwards run

@@ -1,8 +1,10 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 
+	"thermplace/internal/fault"
 	"thermplace/internal/geom"
 	"thermplace/internal/spice"
 )
@@ -68,6 +70,15 @@ type Config struct {
 	// default whenever Solver is MethodCG) and for SPICE deck export
 	// workflows; it is roughly an order of magnitude slower.
 	UseSpice bool
+	// Stats, when non-nil, receives the solver's robustness counters:
+	// multigrid setup failures degraded to Jacobi, non-converged solves
+	// retried on the fallback, contained panics, canceled solves. The flow
+	// wires its own per-flow Stats into every pooled solver.
+	Stats *fault.Stats
+	// Inject, when non-nil, arms the deterministic fault-injection probe
+	// points of package fault on this solver's solves. Test wiring only;
+	// set it before the first solve.
+	Inject *fault.Injector
 }
 
 // FastPath reports whether the configuration is served by the
@@ -77,7 +88,9 @@ func (cfg Config) FastPath() bool { return !cfg.UseSpice && cfg.Solver == spice.
 
 // Equal reports whether two configurations describe the same thermal model
 // and solver setup; package flow uses it to decide whether a cached Solver
-// can be reused.
+// can be reused. The Stats and Inject wiring is deliberately ignored: both
+// are observability/test attachments the owner re-applies identically to
+// every solver it builds, not part of the model.
 func (cfg Config) Equal(o Config) bool {
 	if cfg.NX != o.NX || cfg.NY != o.NY ||
 		cfg.AmbientC != o.AmbientC ||
@@ -280,6 +293,14 @@ func BuildNetwork(powerMap *geom.Grid, cfg Config) (*spice.Circuit, error) {
 // fresh one per call. The legacy SPICE-circuit path serves as the oracle
 // when cfg.UseSpice is set or a non-CG method is selected.
 func Solve(powerMap *geom.Grid, cfg Config) (*Result, error) {
+	return SolveCtx(context.Background(), powerMap, cfg)
+}
+
+// SolveCtx is Solve with cancellation. On the structured-grid fast path the
+// context is checked per CG iteration and per multigrid cycle; the SPICE
+// oracle path only checks before starting (its dense factorizations are not
+// interruptible).
+func SolveCtx(ctx context.Context, powerMap *geom.Grid, cfg Config) (*Result, error) {
 	if cfg.FastPath() {
 		s, err := NewSolver(cfg)
 		if err != nil {
@@ -288,7 +309,11 @@ func Solve(powerMap *geom.Grid, cfg Config) (*Result, error) {
 		// The solver is one-shot here: release its worker pool rather than
 		// leaving parked goroutines behind.
 		defer s.Close()
-		return s.Solve(powerMap) // reports power-map resolution mismatches
+		return s.SolveCtx(ctx, powerMap) // reports power-map resolution mismatches
+	}
+	if err := ctx.Err(); err != nil {
+		cfg.Stats.AddCanceled()
+		return nil, fmt.Errorf("thermal: spice path: %w", fault.Canceled(err))
 	}
 	return solveSpice(powerMap, cfg)
 }

@@ -1,8 +1,12 @@
 package thermal
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 
+	"thermplace/internal/fault"
 	"thermplace/internal/geom"
 	"thermplace/internal/sparse"
 )
@@ -46,10 +50,24 @@ type Solver struct {
 	ambRHS []float64
 	rhs    []float64
 	// x is the temperature field of the previous solve, kept as the CG
-	// warm-start guess.
-	x    []float64
-	warm bool
+	// warm-start guess; xPrev snapshots it before a solve whose failure can
+	// be retried on the Jacobi fallback, so the retry starts from the same
+	// warm start as the failed attempt.
+	x     []float64
+	xPrev []float64
+	warm  bool
+
+	// baseBudget is the regular CG iteration budget; a degradation retry
+	// temporarily raises it by raisedBudgetFactor, and a permanent Jacobi
+	// fallback (multigrid setup failure) keeps it raised.
+	baseBudget int
 }
+
+// raisedBudgetFactor multiplies the CG iteration budget on the Jacobi
+// degradation path: without the multigrid preconditioner the iteration count
+// grows with the grid resolution, so the fallback gets more room before
+// reporting ErrNotConverged.
+const raisedBudgetFactor = 4
 
 // NewSolver validates the configuration and builds the sparsity pattern and
 // the multigrid hierarchy (unless PrecondJacobi is selected). Matrix values
@@ -77,9 +95,10 @@ func NewSolver(cfg Config) (*Solver, error) {
 	// One worker pool serves the whole solver stack: the CG iteration ops
 	// and the multigrid smoother park on the same goroutines.
 	s.pool = sparse.NewPool(sparse.AutoWorkers(s.n))
+	s.baseBudget = 10 * s.n
 	opts := sparse.CGOptions{
 		Tolerance:     cfg.Tolerance,
-		MaxIterations: 10 * s.n,
+		MaxIterations: s.baseBudget,
 		Pool:          s.pool,
 	}
 	if cfg.Precond != PrecondJacobi {
@@ -98,12 +117,29 @@ func NewSolver(cfg Config) (*Solver, error) {
 // index returns the unknown index of thermal cell (ix, iy) in layer l.
 func (s *Solver) index(l, ix, iy int) int { return (l*s.ny+iy)*s.nx + ix }
 
+// dropMG permanently degrades the solver to the Jacobi preconditioner with a
+// raised iteration budget. It is the terminal state of the graceful
+// degradation path: once the multigrid hierarchy has failed to set up there
+// is no point retrying it on later geometry changes.
+func (s *Solver) dropMG() {
+	s.mg = nil
+	s.cg.SetPrecond(nil)
+	s.cg.SetMaxIterations(raisedBudgetFactor * s.baseBudget)
+	s.baseBudget = raisedBudgetFactor * s.baseBudget
+}
+
 // fillValues assembles the conductances for the given cell size, writing
 // matrix values and the ambient right-hand-side contribution in place, and
 // rebuilds the multigrid coarse operators from the new values. The element
 // formulas are exactly those of BuildNetwork, so the fast path and the
 // SPICE oracle solve the same linear system.
-func (s *Solver) fillValues(cellW, cellH float64) error {
+//
+// A multigrid refresh failure (a coarse factorization that breaks on the new
+// values) does not fail the solve: the solver degrades to Jacobi with a
+// raised iteration budget and keeps going, recording the event in
+// Config.Stats. The matrix itself is already assembled at that point, so the
+// degraded solve computes the same temperatures to within the CG tolerance.
+func (s *Solver) fillValues(cellW, cellH float64) {
 	s.cellW, s.cellH = cellW, cellH
 	dx := cellW * metersPerUm
 	dy := cellH * metersPerUm
@@ -206,31 +242,74 @@ func (s *Solver) fillValues(cellW, cellH float64) error {
 		}
 	}
 	if s.mg != nil {
-		if err := s.mg.Refresh(); err != nil {
-			// Do not leave the solver marked as assembled for this
-			// geometry: a retry must re-run the full assembly + refresh
-			// instead of solving with a half-rebuilt preconditioner.
-			s.cellW, s.cellH = 0, 0
-			return fmt.Errorf("thermal: refreshing multigrid operators: %w", err)
+		rerr := s.cfg.Inject.MGSetupError()
+		if rerr == nil {
+			rerr = s.mg.Refresh()
+		}
+		if rerr != nil {
+			s.cfg.Stats.AddMGSetupFailure()
+			s.dropMG()
 		}
 	}
-	return nil
 }
 
 // Solve runs one steady-state analysis for the power map, reusing the
 // assembled structure and warm-starting from the previous solution. The
 // power map must match the solver's NX x NY resolution; its region sets
-// the physical cell size.
+// the physical cell size. It is SolveCtx with a context that never fires.
 func (s *Solver) Solve(powerMap *geom.Grid) (*Result, error) {
+	return s.SolveCtx(context.Background(), powerMap)
+}
+
+// SolveCtx is Solve with cancellation and fault tolerance:
+//
+//   - The context is threaded into the CG iteration (checked once per
+//     iteration and once per multigrid cycle); an abort returns an error
+//     matching fault.ErrCanceled and invalidates the warm start. When the
+//     context never fires the solve is bit-identical to Solve.
+//   - A multigrid-preconditioned solve that fails to converge is retried
+//     once on the Jacobi preconditioner with a raised iteration budget,
+//     from the same warm start, before an ErrNotConverged is reported.
+//   - A panic anywhere inside the solve (worker task, preconditioner) is
+//     contained and returned as a located *fault.ErrPanic.
+//
+// Degradations, cancellations and contained panics are counted in
+// Config.Stats when one is wired.
+func (s *Solver) SolveCtx(ctx context.Context, powerMap *geom.Grid) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.warm = false
+			s.cfg.Stats.AddPanicContained()
+			res = nil
+			err = fmt.Errorf("thermal: solving %dx%dx%d system: %w",
+				s.nx, s.ny, s.nl, fault.Recovered("thermal.Solver.Solve", v))
+		}
+	}()
 	if powerMap.NX != s.nx || powerMap.NY != s.ny {
 		return nil, fmt.Errorf("thermal: power map resolution %dx%d does not match solver %dx%d",
 			powerMap.NX, powerMap.NY, s.nx, s.ny)
 	}
+
+	solveN := s.cfg.Inject.NextSolve()
+	if s.cfg.Inject.StallSolve(solveN) {
+		// Injected stall: park until the caller cancels. A Background
+		// context would park forever, which is exactly the hang the
+		// injection simulates — the harness always arms it with a
+		// cancelable context.
+		<-ctx.Done()
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		s.cfg.Stats.AddCanceled()
+		return nil, fmt.Errorf("thermal: solving %dx%dx%d system: %w",
+			s.nx, s.ny, s.nl, fault.Canceled(cerr))
+	}
+	if s.cfg.Inject.PanicSolve(solveN) {
+		s.injectPanic(solveN)
+	}
+
 	cellW, cellH := powerMap.CellW(), powerMap.CellH()
 	if cellW != s.cellW || cellH != s.cellH {
-		if err := s.fillValues(cellW, cellH); err != nil {
-			return nil, err
-		}
+		s.fillValues(cellW, cellH)
 	}
 
 	copy(s.rhs, s.ambRHS)
@@ -251,13 +330,56 @@ func (s *Solver) Solve(powerMap *geom.Grid) (*Result, error) {
 		}
 		s.warm = true
 	}
-	iters, residual, err := s.cg.Solve(s.rhs, s.x)
-	if err != nil {
+
+	// While a Jacobi fallback retry is possible, snapshot the warm start so
+	// the retry begins from the same guess as the failed attempt, not from
+	// its diverged iterate.
+	retryable := s.mg != nil
+	if retryable {
+		if s.xPrev == nil {
+			s.xPrev = make([]float64, s.n)
+		}
+		copy(s.xPrev, s.x)
+	}
+	var (
+		iters    int
+		residual float64
+		serr     error
+	)
+	if retryable && s.cfg.Inject.FailSolve(solveN, 0) {
+		serr = fmt.Errorf("sparse: CG: %w",
+			&fault.ErrNotConverged{Iters: s.cg.MaxIterations(), Residual: math.Inf(1)})
+	} else {
+		iters, residual, serr = s.cg.SolveCtx(ctx, s.rhs, s.x)
+	}
+	var nc *fault.ErrNotConverged
+	if serr != nil && retryable && errors.As(serr, &nc) {
+		// Graceful degradation: one Jacobi retry with a raised budget.
+		s.cfg.Stats.AddSolveRetry()
+		copy(s.x, s.xPrev)
+		s.cg.SetPrecond(nil)
+		s.cg.SetMaxIterations(raisedBudgetFactor * s.baseBudget)
+		if !s.cfg.Inject.FailSolve(solveN, 1) {
+			iters, residual, serr = s.cg.SolveCtx(ctx, s.rhs, s.x)
+		}
+		s.cg.SetPrecond(s.mg)
+		s.cg.SetMaxIterations(s.baseBudget)
+	}
+	if serr != nil {
 		s.warm = false // do not warm-start from a failed iterate
-		return nil, fmt.Errorf("thermal: solving %dx%dx%d system: %w", s.nx, s.ny, s.nl, err)
+		switch {
+		case errors.Is(serr, fault.ErrCanceled):
+			s.cfg.Stats.AddCanceled()
+		default:
+			var pe *fault.ErrPanic
+			if errors.As(serr, &pe) {
+				s.cfg.Stats.AddPanicContained()
+			}
+		}
+		return nil, fmt.Errorf("thermal: solving %dx%dx%d system: %w", s.nx, s.ny, s.nl, serr)
 	}
 
-	res := &Result{
+	res = &Result{
 		AmbientC:       s.cfg.AmbientC,
 		Iterations:     iters,
 		SolverResidual: residual,
@@ -276,6 +398,25 @@ func (s *Solver) Solve(powerMap *geom.Grid) (*Result, error) {
 	res.PeakRise = res.PeakC - s.cfg.AmbientC
 	res.GradientC = res.Surface.Gradient()
 	return res, nil
+}
+
+// injectPanic crashes the current solve on purpose (Injector.PanicCGSolveN):
+// inside a pool task when the solver runs parallel — exercising the pool's
+// panic containment end to end — or directly on the calling goroutine when
+// serial. Either way the panic is recovered by SolveCtx and surfaces as a
+// located *fault.ErrPanic.
+func (s *Solver) injectPanic(solveN int) {
+	w := s.cg.Workers()
+	if w > 1 && s.pool.Parallel(w) {
+		s.pool.Run(w, func(task int) float64 {
+			if task == 0 {
+				panic(fmt.Sprintf("fault: injected panic inside pool task (solve %d)", solveN))
+			}
+			return 0
+		})
+		return
+	}
+	panic(fmt.Sprintf("fault: injected panic (solve %d)", solveN))
 }
 
 // State returns a copy of the temperature field of the last solve (the CG
