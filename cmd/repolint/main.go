@@ -1,0 +1,63 @@
+// Command repolint runs the repository's custom analyzers — the structural
+// enforcement of the pipeline's determinism, cancellation and
+// error-provenance contracts — over the given package patterns and exits
+// non-zero when any finding survives.
+//
+//	go run ./cmd/repolint ./...
+//
+// It is part of the tier-1 local check and runs blocking in CI's lint job.
+// The standard go/analysis passes (printf, lostcancel, copylocks, ...) are
+// covered by `go vet` in the same job; repolint carries only the checks
+// specific to this repository's contracts. See internal/analysis/checks
+// for what each analyzer enforces and README's "Invariants & linting"
+// section for the //repolint:allow escape hatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermplace/internal/analysis"
+	"thermplace/internal/analysis/checks"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the repository's contract analyzers over the packages (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := checks.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

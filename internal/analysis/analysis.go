@@ -1,0 +1,108 @@
+// Package analysis is a dependency-free reimplementation of the slice of
+// the golang.org/x/tools/go/analysis API that repolint needs: an Analyzer
+// runs over one type-checked package at a time and reports position-tagged
+// diagnostics. The module deliberately has no external dependencies, so the
+// x/tools framework itself is out of reach; the Analyzer/Pass surface is
+// kept shape-compatible with it so the checks in internal/analysis/checks
+// could be ported to a real multichecker by changing only their imports.
+//
+// The pipeline's correctness contracts — bit-identical sweeps across
+// worker counts and incremental modes, typed extractable errors, zero
+// goroutine leaks — are enforced dynamically by the test suite, but only on
+// the paths a test happens to exercise. The analyzers built on this package
+// enforce them structurally, at every call site, on every build (see
+// internal/analysis/checks and cmd/repolint).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //repolint:allow directives. It must be a valid Go identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings through
+	// the pass. A non-nil error aborts the whole repolint run (it means the
+	// analyzer itself failed, not that the code has findings).
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Path is the import path the package was loaded under. For packages
+	// loaded from a testdata tree it is the directory path relative to the
+	// testdata src root.
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when the expression is not part of
+// the type-checked package.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes (definition or use),
+// or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+		return obj
+	}
+	return nil
+}
+
+// A Diagnostic is one finding, tagged with the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, then analyzer, so
+// output is stable regardless of analyzer or package visit order.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,40 @@
+package checks
+
+import (
+	"go/ast"
+
+	"thermplace/internal/analysis"
+)
+
+// BareGo forbids raw `go` statements in the numeric-core packages. The
+// pipeline's concurrency runs on exactly two primitives — sparse.Pool
+// (parked, panic-containing solver workers) and core's runTasks (bounded
+// sweep group with sibling cancellation and lowest-index error selection)
+// — and the leak/robustness suites assert their guarantees: a contained
+// panic instead of a crash, zero goroutines left behind after Close, and
+// deterministic error selection. A goroutine spawned outside them has none
+// of that coverage. The primitives' own spawn sites carry
+// //repolint:allow bareGo(...) directives: they are the implementation the
+// rule points everyone else to.
+var BareGo = &analysis.Analyzer{
+	Name: "bareGo",
+	Doc: "forbid raw go statements in the numeric core; concurrency must run on " +
+		"sparse.Pool or core's runTasks, which own panic containment and leak accounting",
+	Run: runBareGo,
+}
+
+func runBareGo(pass *analysis.Pass) error {
+	if !inCorePackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"raw goroutine in the numeric core bypasses sparse.Pool/runTasks panic containment and leak accounting; run the work on one of those primitives")
+			}
+			return true
+		})
+	}
+	return nil
+}

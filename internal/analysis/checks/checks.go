@@ -1,0 +1,141 @@
+// Package checks holds the repolint analyzers: structural enforcement of
+// the pipeline's determinism, cancellation and error-provenance contracts.
+// Each analyzer guards an invariant the test suite can only probe
+// dynamically (and only on the paths a test happens to cover):
+//
+//   - mapiterorder: bit-reproducibility against map iteration order (the
+//     PR 3 power.Report bug class);
+//   - ctxpair: Foo/FooCtx pairs stay thin delegates and *Ctx loops keep
+//     cancellation checks;
+//   - errprov: errors wrap (%w, errors.Is/As) so the fault taxonomy stays
+//     extractable through every layer;
+//   - nondeterminism: no clocks, global randomness or environment reads in
+//     the numeric core;
+//   - bareGo: no raw goroutines outside the pooled primitives that own
+//     panic containment and leak accounting.
+//
+// Findings are suppressed case by case with
+//
+//	//repolint:allow analyzer(reason)
+//
+// on, or directly above, the offending line; the reason is mandatory.
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"thermplace/internal/analysis"
+)
+
+// All returns every repolint analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		MapIterOrder,
+		CtxPair,
+		ErrProv,
+		Nondeterminism,
+		BareGo,
+	}
+}
+
+// corePackages names the numeric-core packages whose output feeds the
+// bit-identity contracts. A package is "core" when any segment of its load
+// path matches — which covers both the real tree (thermplace/internal/…)
+// and the analyzers' testdata packages.
+var corePackages = map[string]bool{
+	"sparse":  true,
+	"thermal": true,
+	"place":   true,
+	"power":   true,
+	"core":    true,
+	"flow":    true,
+}
+
+func inCorePackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if corePackages[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectSkipFuncLit walks the subtree rooted at n without descending into
+// function literals: a closure's body does not run where it is written, so
+// loop- and accumulation-shaped checks must not attribute its statements to
+// the enclosing context.
+func inspectSkipFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// rootIdent unwraps selectors, indexing, stars and parens down to the
+// leftmost identifier: the variable that is actually mutated by an
+// assignment to the expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isRealCall reports whether e is a genuine function or method call — not a
+// type conversion and not a call of a compile-time builtin.
+func isRealCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := pass.ObjectOf(id).(*types.Builtin); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// errorInterface is the universe error type.
+var errorInterface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorInterface)
+}
+
+// isErrorInterface reports whether t is exactly the error interface type.
+func isErrorInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

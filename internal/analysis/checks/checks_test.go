@@ -1,0 +1,31 @@
+package checks_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"thermplace/internal/analysis/checks"
+	"thermplace/internal/analysis/lintest"
+)
+
+var testdata = filepath.Join("..", "testdata", "src")
+
+func TestMapIterOrder(t *testing.T) {
+	lintest.Run(t, testdata, checks.MapIterOrder, "mapiterorder")
+}
+
+func TestCtxPair(t *testing.T) {
+	lintest.Run(t, testdata, checks.CtxPair, "ctxpair")
+}
+
+func TestErrProv(t *testing.T) {
+	lintest.Run(t, testdata, checks.ErrProv, "errprov")
+}
+
+func TestNondeterminism(t *testing.T) {
+	lintest.Run(t, testdata, checks.Nondeterminism, "nondeterminism/core", "nondeterminism/util")
+}
+
+func TestBareGo(t *testing.T) {
+	lintest.Run(t, testdata, checks.BareGo, "barego/sparse", "barego/util")
+}

@@ -1,0 +1,200 @@
+package checks
+
+import (
+	"go/ast"
+	"strings"
+
+	"thermplace/internal/analysis"
+)
+
+// CtxPair enforces the two structural halves of the repository's
+// cancellation contract:
+//
+//  1. When a function Foo has a sibling FooCtx (same package; same
+//     receiver for methods), Foo must be a thin delegate — a single
+//     statement forwarding to a *Ctx variant with a fresh context as the
+//     first argument. That makes the "bit-identical when the context never
+//     fires" guarantee structural: there is only one implementation, so
+//     the pair cannot drift apart.
+//  2. A *Ctx function that loops without ever consulting its context —
+//     no ctx.Err()/ctx.Done(), and no call receiving the context — has a
+//     window in which cancellation cannot land. Cheap pure-arithmetic
+//     loops (no function calls) are exempt.
+var CtxPair = &analysis.Analyzer{
+	Name: "ctxpair",
+	Doc: "Foo with a FooCtx sibling must thinly delegate to the Ctx variant, and loops " +
+		"inside *Ctx functions must reference the context (directly or via their calls)",
+	Run: runCtxPair,
+}
+
+func runCtxPair(pass *analysis.Pass) error {
+	// Index the package's functions by (receiver base type, name) so Foo
+	// can find FooCtx across files.
+	decls := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			decls[funcKey(fd)] = fd
+		}
+	}
+
+	for key, fd := range decls {
+		name := fd.Name.Name
+		if strings.HasSuffix(name, "Ctx") {
+			checkCtxLoops(pass, fd)
+			continue
+		}
+		sibling, ok := decls[key+"Ctx"]
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if !isThinDelegate(pass, fd) {
+			pass.Reportf(fd.Name.Pos(),
+				"%s has a context sibling %s but is not a thin delegate: its body must be a single forward to a *Ctx variant (e.g. return %s(context.Background(), ...)), so the pair cannot drift apart",
+				name, sibling.Name.Name, sibling.Name.Name)
+		}
+	}
+	return nil
+}
+
+// funcKey is "Recv.Name" for methods and "Name" for functions.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name + "." + fd.Name.Name
+		default:
+			return fd.Name.Name
+		}
+	}
+}
+
+// isThinDelegate reports whether the function body is exactly one forward
+// to a *Ctx call whose first argument is a context. Accepted shapes:
+//
+//	return FooCtx(context.Background(), ...)
+//	x.FooCtx(ctx, ...)        // no results
+//	_ = x.FooCtx(ctx, ...)    // results deliberately discarded
+func isThinDelegate(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch st := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(st.Results) != 1 {
+			return false
+		}
+		call, _ = ast.Unparen(st.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(st.X).(*ast.CallExpr)
+	case *ast.AssignStmt:
+		if len(st.Rhs) != 1 {
+			return false
+		}
+		for _, lhs := range st.Lhs {
+			if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+				return false
+			}
+		}
+		call, _ = ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+	default:
+		return false
+	}
+	if call == nil {
+		return false
+	}
+	var callee string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee = fun.Name
+	case *ast.SelectorExpr:
+		callee = fun.Sel.Name
+	default:
+		return false
+	}
+	if !strings.HasSuffix(callee, "Ctx") {
+		return false
+	}
+	return len(call.Args) > 0 && isContextType(pass.TypeOf(call.Args[0]))
+}
+
+// checkCtxLoops flags loops inside a *Ctx function that do real work (at
+// least one genuine call) without referencing any context value.
+func checkCtxLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || !hasContextParam(pass, fd) {
+		return
+	}
+	name := fd.Name.Name
+	inspectSkipFuncLit(fd.Body, func(n ast.Node) bool {
+		var body ast.Node
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			body = n
+		default:
+			return true
+		}
+		if loopReferencesContext(pass, body) {
+			// The loop consults (or forwards) the context; an inner loop is
+			// covered by the per-iteration check around it.
+			return false
+		}
+		if loopHasRealCall(pass, body) {
+			pass.Reportf(n.Pos(),
+				"loop in %s never consults the context: add a ctx.Err()/ctx.Done() check or pass ctx into the loop's calls, or the cancellation contract has a blind window here",
+				name)
+		}
+		return false
+	})
+}
+
+func hasContextParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if isContextType(pass.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// loopReferencesContext reports whether the loop subtree (closures
+// excluded) mentions any value of type context.Context.
+func loopReferencesContext(pass *analysis.Pass, loop ast.Node) bool {
+	found := false
+	inspectSkipFuncLit(loop, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if obj := pass.ObjectOf(id); obj != nil && obj.Pkg() != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopHasRealCall reports whether the loop subtree (closures excluded)
+// contains a genuine function or method call — the proxy for "this loop
+// can run long enough that cancellation matters".
+func loopHasRealCall(pass *analysis.Pass, loop ast.Node) bool {
+	found := false
+	inspectSkipFuncLit(loop, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && !found && isRealCall(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

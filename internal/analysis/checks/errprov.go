@@ -1,0 +1,151 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"thermplace/internal/analysis"
+)
+
+// ErrProv enforces error provenance: the internal/fault taxonomy is only
+// extractable (errors.Is(err, fault.ErrCanceled), errors.As(err, &nc)) if
+// every layer wraps rather than flattens. Three patterns break the chain:
+//
+//   - fmt.Errorf formatting an error argument without a %w verb flattens
+//     it to text;
+//   - comparing errors with == misses wrapped sentinels (use errors.Is);
+//   - type-asserting or type-switching on an error value misses wrapped
+//     typed errors (use errors.As).
+//
+// Methods named Is, As or Unwrap are exempt: they implement the errors
+// protocol itself, where identity comparison and assertions are the point.
+var ErrProv = &analysis.Analyzer{
+	Name: "errprov",
+	Doc: "errors must stay extractable: fmt.Errorf with an error argument needs %w, " +
+		"sentinel comparisons need errors.Is, and error type dispatch needs errors.As",
+	Run: runErrProv,
+}
+
+func runErrProv(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && (fd.Name.Name == "Is" || fd.Name.Name == "As" || fd.Name.Name == "Unwrap") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					checkErrorfWrap(pass, x)
+				case *ast.BinaryExpr:
+					checkSentinelCompare(pass, x)
+				case *ast.TypeAssertExpr:
+					if x.Type != nil && isErrorInterface(pass.TypeOf(x.X)) {
+						pass.Reportf(x.Pos(),
+							"type assertion on an error misses wrapped errors; use errors.As")
+					}
+				case *ast.TypeSwitchStmt:
+					if operand := typeSwitchOperand(x); operand != nil && isErrorInterface(pass.TypeOf(operand)) {
+						pass.Reportf(x.Pos(),
+							"type switch on an error misses wrapped errors; use errors.As per case")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format at least one
+// error-typed argument but use no %w verb, flattening the cause to text.
+func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if formatHasWrapVerb(constant.StringVal(tv.Value)) {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if implementsError(pass.TypeOf(arg)) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error without %%w: the cause becomes unreachable for errors.Is/errors.As (the fault taxonomy breaks here); use %%w")
+			return
+		}
+	}
+}
+
+// formatHasWrapVerb scans a printf format string for a %w verb,
+// tolerating %% escapes and flag/width characters between % and the verb.
+func formatHasWrapVerb(format string) bool {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // %% escape
+			}
+			if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+				if c == 'w' {
+					return true
+				}
+				break
+			}
+			i++ // flag, width, precision or index character
+		}
+	}
+	return false
+}
+
+// checkSentinelCompare flags ==/!= between an error and a non-nil value.
+func checkSentinelCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isNilExpr(pass, be.X) || isNilExpr(pass, be.Y) {
+		return // err == nil is the idiomatic success check
+	}
+	if isErrorInterface(pass.TypeOf(be.X)) || isErrorInterface(pass.TypeOf(be.Y)) {
+		pass.Reportf(be.OpPos,
+			"%s on errors misses wrapped sentinels; use errors.Is", be.Op)
+	}
+}
+
+func isNilExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// typeSwitchOperand extracts the expression a type switch inspects.
+func typeSwitchOperand(ts *ast.TypeSwitchStmt) ast.Expr {
+	var ta *ast.TypeAssertExpr
+	switch st := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		ta, _ = ast.Unparen(st.X).(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(st.Rhs) == 1 {
+			ta, _ = ast.Unparen(st.Rhs[0]).(*ast.TypeAssertExpr)
+		}
+	}
+	if ta == nil {
+		return nil
+	}
+	return ta.X
+}

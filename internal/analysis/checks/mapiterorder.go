@@ -1,0 +1,184 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"thermplace/internal/analysis"
+)
+
+// MapIterOrder flags `range` statements over maps whose bodies fold the
+// iteration into order-sensitive shared state: accumulating floats (float
+// addition does not commute in rounding, so the result depends on the
+// random iteration order — the exact bug PR 3 fixed in power.Report) or
+// appending to a slice declared outside the loop (the element order becomes
+// random). Iterate sorted keys, or a design-order index, instead.
+var MapIterOrder = &analysis.Analyzer{
+	Name: "mapiterorder",
+	Doc: "flag range-over-map bodies that accumulate floats or append to outer slices; " +
+		"map iteration order is randomized, so both break bit-reproducibility",
+	Run: runMapIterOrder,
+}
+
+func runMapIterOrder(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					return true
+				}
+				checkMapRangeBody(pass, rs, fd.Body)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	// outside reports whether the identifier's object is declared outside
+	// the range statement — i.e. the loop mutates state that survives it.
+	outside := func(id *ast.Ident) bool {
+		obj := pass.ObjectOf(id)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	}
+	isFloat := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+	}
+
+	inspectSkipFuncLit(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				root := rootIdent(lhs)
+				if root != nil && outside(root) && isFloat(lhs) {
+					pass.Reportf(as.Pos(),
+						"float accumulation into %s inside range over map: the result depends on the randomized iteration order; iterate sorted keys instead",
+						root.Name)
+					return true
+				}
+			}
+		case token.ASSIGN:
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				root := rootIdent(lhs)
+				if root == nil || !outside(root) {
+					continue
+				}
+				switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+				case *ast.BinaryExpr:
+					// x = x + v (and -, *, /) written longhand.
+					if !isFloat(lhs) {
+						continue
+					}
+					switch rhs.Op {
+					case token.ADD, token.SUB, token.MUL, token.QUO:
+						if exprUsesObject(pass, rhs, pass.ObjectOf(root)) {
+							pass.Reportf(as.Pos(),
+								"float accumulation into %s inside range over map: the result depends on the randomized iteration order; iterate sorted keys instead",
+								root.Name)
+							return true
+						}
+					}
+				case *ast.CallExpr:
+					// s = append(s, ...) collects elements in random order —
+					// unless the slice is handed to sort/slices afterwards,
+					// which is precisely the sorted-keys guard the fix idiom
+					// uses (collect keys, sort, iterate sorted).
+					if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok {
+						if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "append" {
+							if !sortedAfter(pass, fnBody, rs, pass.ObjectOf(root)) {
+								pass.Reportf(as.Pos(),
+									"append to %s inside range over map without a sorted-keys guard: the element order follows the randomized iteration order; sort the slice afterwards or iterate sorted keys",
+									root.Name)
+							}
+							return true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether, later in the enclosing function body, the
+// accumulated slice is passed into the sort or slices package — the
+// sorted-keys guard that restores a deterministic order after collecting
+// from a map in random order.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil || obj == nil {
+		return false
+	}
+	guarded := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprUsesObject(pass, arg, obj) {
+				guarded = true
+				return false
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// exprUsesObject reports whether any identifier in e resolves to obj.
+func exprUsesObject(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,83 @@
+package checks
+
+import (
+	"go/types"
+
+	"thermplace/internal/analysis"
+)
+
+// Nondeterminism forbids the three ambient-input families inside the
+// numeric core (sparse, thermal, place, power, core, flow): wall-clock
+// reads, the global math/rand source, and environment variables. Every
+// sweep result is asserted bit-identical across worker counts, incremental
+// modes and re-runs; an analysis that consults the clock, an unseeded
+// generator or the environment is a function of something other than its
+// declared inputs, and the bit-identity harness can only catch it by luck.
+// Randomness is fine when it is seeded and threaded explicitly
+// (rand.New(rand.NewSource(seed)), as internal/bench and logicsim do).
+var Nondeterminism = &analysis.Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbid time.Now/Since/Until, the global math/rand source and env reads in the " +
+		"numeric core; results must be pure functions of their declared inputs",
+	Run: runNondeterminism,
+}
+
+// forbiddenFuncs maps package path -> function name -> replacement advice.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "thread timestamps in from the caller",
+		"Since": "thread timestamps in from the caller",
+		"Until": "thread timestamps in from the caller",
+	},
+	"os": {
+		"Getenv":    "take configuration through Config fields",
+		"LookupEnv": "take configuration through Config fields",
+		"Environ":   "take configuration through Config fields",
+		"ExpandEnv": "take configuration through Config fields",
+	},
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded generators — the deterministic idiom the rule points callers to.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runNondeterminism(pass *analysis.Pass) error {
+	if !inCorePackage(pass.Path) {
+		return nil
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		pkgPath := fn.Pkg().Path()
+		switch pkgPath {
+		case "time", "os":
+			if advice, ok := forbiddenFuncs[pkgPath][fn.Name()]; ok && isPackageLevel(fn) {
+				pass.Reportf(id.Pos(),
+					"%s.%s in the numeric core makes results depend on ambient state; %s",
+					pkgPath, fn.Name(), advice)
+			}
+		case "math/rand", "math/rand/v2":
+			if isPackageLevel(fn) && !randConstructors[fn.Name()] {
+				pass.Reportf(id.Pos(),
+					"global %s.%s is unseeded and nondeterministic; use rand.New(rand.NewSource(seed)) with a seed threaded from the scenario",
+					pkgPath, fn.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// isPackageLevel reports whether fn is a package-scope function (methods,
+// e.g. (*rand.Rand).Intn on an explicitly seeded generator, are fine).
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// A directive is one parsed //repolint:allow comment. It suppresses the
+// named analyzer's diagnostics on its own line and on the line directly
+// below, so it works both as a trailing comment on the offending line and
+// as a standalone comment above it:
+//
+//	//repolint:allow bareGo(this IS the worker pool the rule points to)
+//	go p.worker(w)
+//
+// The reason is mandatory: an allow without a recorded justification is
+// exactly the silent contract erosion repolint exists to prevent.
+type directive struct {
+	pos      token.Pos
+	position token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const directivePrefix = "//repolint:allow"
+
+var directiveRE = regexp.MustCompile(`^//repolint:allow\s+([A-Za-z][A-Za-z0-9_]*)\(([^)]*)\)\s*$`)
+
+// parseDirectives extracts the allow directives of one loaded package.
+// Malformed directives (bad syntax, or an empty reason) are reported as
+// diagnostics under the reserved analyzer name "repolint" — they can never
+// be suppressed.
+func parseDirectives(pkg *Package, report func(Diagnostic)) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimRight(c.Text, " \t")
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				m := directiveRE.FindStringSubmatch(text)
+				if m == nil || strings.TrimSpace(m[2]) == "" {
+					report(Diagnostic{
+						Pos:      c.Pos(),
+						Position: pkg.Fset.Position(c.Pos()),
+						Analyzer: "repolint",
+						Message:  "malformed allow directive: want //repolint:allow analyzer(reason), with a non-empty reason",
+					})
+					continue
+				}
+				out = append(out, &directive{
+					pos:      c.Pos(),
+					position: pkg.Fset.Position(c.Pos()),
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// directiveIndex answers "is there an allow for analyzer a covering file f
+// line l" in O(1).
+type directiveIndex map[directiveKey]*directive
+
+type directiveKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func indexDirectives(ds []*directive) directiveIndex {
+	idx := make(directiveIndex)
+	for _, d := range ds {
+		idx[directiveKey{d.position.Filename, d.position.Line, d.analyzer}] = d
+	}
+	return idx
+}
+
+// suppress reports whether a directive covers the diagnostic, marking the
+// directive used. A directive on line L covers diagnostics on L and L+1.
+func (idx directiveIndex) suppress(d Diagnostic) bool {
+	if d.Analyzer == "repolint" {
+		return false
+	}
+	for _, line := range [2]int{d.Position.Line, d.Position.Line - 1} {
+		if dir, ok := idx[directiveKey{d.Position.Filename, line, d.Analyzer}]; ok {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load loads, parses and type-checks the packages matching the patterns
+// (for example "./...") relative to dir, which must lie inside a module.
+//
+// Dependencies are resolved through compiler export data produced by
+// `go list -export`, so loading needs no network and no pre-installed
+// artifacts beyond the go toolchain itself: the go command compiles (or
+// reuses from the build cache) whatever the matched packages import.
+// Only non-test files are analyzed — the contracts repolint enforces
+// govern the shipped pipeline, and test files routinely (and legitimately)
+// use the patterns the analyzers forbid, e.g. map-order iteration in
+// set-comparison helpers or raw goroutines in deadlock probes.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,GoFiles,Export,Standard,DepOnly,Error", "--"}, patterns...)
+	out, err := runGo(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*listPackage
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s", p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			cp := p
+			targets = append(targets, &cp)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Name == "" || len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := typecheck(fset, imp, t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadTestdata loads one package per relative directory under srcRoot (a
+// testdata source tree laid out like analysistest's testdata/src). The
+// files may import only standard-library packages; moduleDir anchors the
+// `go list` call that resolves their export data.
+func LoadTestdata(moduleDir, srcRoot string, pkgRels ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	type parsed struct {
+		rel   string
+		files []*ast.File
+	}
+	var all []parsed
+	imports := make(map[string]bool)
+	for _, rel := range pkgRels {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(rel))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: testdata package %s: %w", rel, err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+					imports[path] = true
+				}
+			}
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("analysis: testdata package %s has no go files", rel)
+		}
+		all = append(all, parsed{rel: rel, files: files})
+	}
+
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		args := []string{"list", "-export", "-deps", "-json=ImportPath,Export,Error", "--"}
+		paths := make([]string, 0, len(imports))
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		args = append(args, paths...)
+		out, err := runGo(moduleDir, args...)
+		if err != nil {
+			return nil, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPackage
+			if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+			}
+			if p.Error != nil {
+				return nil, fmt.Errorf("analysis: go list: %s", p.Error.Err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, p := range all {
+		pkg, err := typecheckFiles(fset, imp, filepath.ToSlash(p.rel), p.files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// runGo runs the go command in dir and returns its stdout.
+func runGo(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// exportImporter resolves imports through the compiler export data recorded
+// by `go list -export`. One importer instance is shared across a whole load
+// so each dependency is read at most once.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, path string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return typecheckFiles(fset, imp, path, files)
+}
+
+func typecheckFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

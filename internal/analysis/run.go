@@ -1,0 +1,74 @@
+package analysis
+
+import "fmt"
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics in stable (file, line, column, analyzer) order.
+//
+// Beyond the analyzers' own findings, Run enforces the hygiene of the
+// escape hatch itself, under the reserved analyzer name "repolint":
+//
+//   - a malformed //repolint:allow directive (bad syntax or empty reason)
+//     is a finding;
+//   - a directive naming an analyzer not part of this run is a finding
+//     (it is a typo, or the check it referred to no longer exists);
+//   - a directive that suppressed nothing is a finding (the code it
+//     excused has been fixed or moved — stale allows must not linger to
+//     silently excuse future regressions).
+//
+// "repolint" diagnostics cannot themselves be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	var directives []*directive
+	report := func(d Diagnostic) { diags = append(diags, d) }
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		directives = append(directives, parseDirectives(pkg, report)...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+				diags:     &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	idx := indexDirectives(directives)
+	for _, d := range raw {
+		if !idx.suppress(d) {
+			diags = append(diags, d)
+		}
+	}
+	for _, dir := range directives {
+		switch {
+		case !known[dir.analyzer]:
+			diags = append(diags, Diagnostic{
+				Pos:      dir.pos,
+				Position: dir.position,
+				Analyzer: "repolint",
+				Message:  fmt.Sprintf("allow directive names unknown analyzer %q", dir.analyzer),
+			})
+		case !dir.used:
+			diags = append(diags, Diagnostic{
+				Pos:      dir.pos,
+				Position: dir.position,
+				Analyzer: "repolint",
+				Message:  fmt.Sprintf("unused allow directive for %s: the finding it excused is gone; delete the directive", dir.analyzer),
+			})
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}

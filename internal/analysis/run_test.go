@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thermplace/internal/analysis"
+	"thermplace/internal/analysis/checks"
+)
+
+// TestDirectiveHygiene drives the full set of analyzers over a package
+// whose only content is broken allow directives, and checks that each kind
+// is reported under the reserved "repolint" name. These cases cannot use
+// lintest's // want comments: the expectation would have to share the
+// directive's own comment line, which would itself change what is parsed.
+func TestDirectiveHygiene(t *testing.T) {
+	pkgs, err := analysis.LoadTestdata(".", filepath.Join("testdata", "src"), "directives")
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, checks.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	want := []struct {
+		line    int
+		message string
+	}{
+		{6, "malformed allow directive"},
+		{9, `allow directive names unknown analyzer "nosuchcheck"`},
+		{12, "unused allow directive for errprov"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, d := range diags {
+		if d.Analyzer != "repolint" {
+			t.Errorf("diag %d: analyzer = %q, want repolint", i, d.Analyzer)
+		}
+		if d.Position.Line != want[i].line {
+			t.Errorf("diag %d: line = %d, want %d (%s)", i, d.Position.Line, want[i].line, d)
+		}
+		if !strings.Contains(d.Message, want[i].message) {
+			t.Errorf("diag %d: message %q does not contain %q", i, d.Message, want[i].message)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package sparse stands in for a numeric-core package (the path's last
+// segment is what the analyzer keys on): raw goroutines are forbidden here.
+package sparse
+
+import "sync"
+
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() { // want `raw goroutine in the numeric core`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// pool models the one legitimate spawn site: the worker-pool implementation
+// itself, marked with the escape hatch. The identical statement in fanOut
+// stays flagged.
+type pool struct{ workers int }
+
+func (p *pool) start() {
+	for w := 0; w < p.workers; w++ {
+		//repolint:allow bareGo(this is the worker-pool implementation itself)
+		go p.worker(w)
+	}
+}
+
+func (p *pool) worker(int) {}

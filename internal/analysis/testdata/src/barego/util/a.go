@@ -1,0 +1,12 @@
+// Package util is outside the numeric-core package list: goroutines here
+// (reporting, harness plumbing) are not the analyzer's business.
+package util
+
+func Background(fn func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	return done
+}

@@ -1,0 +1,123 @@
+// Package ctxpair exercises the ctxpair analyzer: Foo/FooCtx thin-delegate
+// pairs and context checks inside *Ctx loops.
+package ctxpair
+
+import "context"
+
+func step(x int) int { return x + 1 }
+
+// Sweep is the contract shape: a thin delegate to its Ctx sibling.
+func Sweep(n int) (int, error) {
+	return SweepCtx(context.Background(), n)
+}
+
+// SweepCtx consults its context every iteration: compliant.
+func SweepCtx(ctx context.Context, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total = step(total)
+	}
+	return total, nil
+}
+
+// Analyze duplicates the implementation instead of delegating; the pair
+// can drift apart.
+func Analyze(n int) int { // want `Analyze has a context sibling AnalyzeCtx but is not a thin delegate`
+	total := 0
+	for i := 0; i < n; i++ {
+		total = step(total)
+	}
+	return total
+}
+
+// AnalyzeCtx takes a context but its loop never consults it.
+func AnalyzeCtx(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `loop in AnalyzeCtx never consults the context`
+		total = step(total)
+	}
+	return total
+}
+
+type solver struct{}
+
+// Solve delegates with discarded results — an accepted thin-delegate shape.
+func (s *solver) Solve(n int) { _, _ = s.SolveCtx(context.Background(), n) }
+
+func (s *solver) SolveCtx(ctx context.Context, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total = step(total)
+	}
+	return total, nil
+}
+
+// helper has no Ctx sibling; it is free to loop however it likes.
+func helper(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total = step(total)
+	}
+	return total
+}
+
+// NormCtx's loop is pure arithmetic — no calls, so no cancellation window
+// worth a per-iteration check.
+func NormCtx(ctx context.Context, xs []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x * x
+	}
+	return s, nil
+}
+
+// TasksCtx only builds closures in its loop; the closure bodies run
+// elsewhere and must not be attributed to the loop.
+func TasksCtx(ctx context.Context, n int) ([]func() int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var tasks []func() int
+	for i := 0; i < n; i++ {
+		i := i
+		tasks = append(tasks, func() int { return step(i) })
+	}
+	return tasks, nil
+}
+
+// ForwardCtx forwards the context into the loop's call — that is how the
+// deeper layer gets its chance to observe cancellation.
+func ForwardCtx(ctx context.Context, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		v, err := SweepCtx(ctx, i)
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// GridCtx shows the escape hatch: the directive suppresses exactly this
+// loop, while the identical one in AnalyzeCtx stays flagged.
+func GridCtx(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	total := 0
+	//repolint:allow ctxpair(bounded bookkeeping loop, no solves inside)
+	for i := 0; i < n; i++ {
+		total = step(total)
+	}
+	return total, nil
+}

@@ -1,0 +1,14 @@
+// Package directives exercises the driver's directive hygiene: malformed,
+// unknown-analyzer and stale allow directives are findings themselves.
+package directives
+
+// Malformed: the reason is mandatory.
+//repolint:allow bareGo()
+
+// Unknown analyzer: a typo, or a check that no longer exists.
+//repolint:allow nosuchcheck(the reason does not rescue a bad name)
+
+// Stale: there is no finding on this line or the next to suppress.
+//repolint:allow errprov(stale excuse)
+
+func placeholder() {}

@@ -1,0 +1,76 @@
+// Package errprov exercises the errprov analyzer: wrap-vs-flatten,
+// sentinel comparison and error type dispatch.
+package errprov
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBudget = errors.New("iteration budget exceeded")
+
+type parseError struct{ line int }
+
+func (e *parseError) Error() string { return fmt.Sprintf("parse error at line %d", e.line) }
+
+// wrapOK keeps the cause reachable for errors.Is/As.
+func wrapOK(err error) error { return fmt.Errorf("solve: %w", err) }
+
+// leafOK creates a new error with no cause to lose.
+func leafOK(n int) error { return fmt.Errorf("bad grid dimension %d", n) }
+
+func flatten(err error) error {
+	return fmt.Errorf("solve: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+func flattenTyped(e *parseError) error {
+	return fmt.Errorf("deck line %d: %s", e.line, e) // want `fmt.Errorf formats an error without %w`
+}
+
+func compare(err error) bool {
+	return err == ErrBudget // want `== on errors misses wrapped sentinels`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrBudget // want `!= on errors misses wrapped sentinels`
+}
+
+// compareOK: errors.Is for sentinels, == nil for the success check.
+func compareOK(err error) bool {
+	return errors.Is(err, ErrBudget) || err == nil
+}
+
+func assert(err error) int {
+	if pe, ok := err.(*parseError); ok { // want `type assertion on an error misses wrapped errors`
+		return pe.line
+	}
+	return 0
+}
+
+func assertOK(err error) int {
+	var pe *parseError
+	if errors.As(err, &pe) {
+		return pe.line
+	}
+	return 0
+}
+
+func dispatch(err error) string {
+	switch err.(type) { // want `type switch on an error misses wrapped errors`
+	case *parseError:
+		return "parse"
+	default:
+		return "other"
+	}
+}
+
+// Is implements the errors protocol; identity comparison is the point here
+// and the analyzer must stay out.
+func (e *parseError) Is(target error) bool { return target == ErrBudget }
+
+// allowedCompare shows the escape hatch: the directive suppresses exactly
+// this comparison, while the identical one in compare stays flagged.
+func allowedCompare(err error) bool {
+	//repolint:allow errprov(identity check against a process-local singleton)
+	return err == ErrBudget
+}

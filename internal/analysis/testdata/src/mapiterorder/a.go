@@ -1,0 +1,106 @@
+// Package mapiterorder exercises the mapiterorder analyzer: range-over-map
+// bodies that fold the randomized iteration order into shared state.
+package mapiterorder
+
+import "sort"
+
+// reportPR3 reproduces the PR 3 power.Report bug shape: per-instance float
+// contributions summed in map iteration order made the sweep's totals
+// differ bit-for-bit between runs.
+func reportPR3(breakdown map[string]float64) float64 {
+	total := 0.0
+	for _, p := range breakdown {
+		total += p // want `float accumulation into total`
+	}
+	return total
+}
+
+func longhand(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v*v // want `float accumulation into sum`
+	}
+	return sum
+}
+
+type report struct{ total float64 }
+
+func intoField(m map[string]float64, r *report) {
+	for _, v := range m {
+		r.total += v // want `float accumulation into r`
+	}
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map without a sorted-keys guard`
+	}
+	return out
+}
+
+// sortedKeysGuard is the fix idiom the analyzer must not flag: collecting
+// keys is fine when the slice is sorted before use.
+func sortedKeysGuard(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// intCounts commute exactly; integer accumulation is order-independent.
+func intCounts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// loopLocal accumulates into a variable scoped to the iteration; nothing
+// escapes in iteration order.
+func loopLocal(m map[string][]float64) int {
+	hot := 0
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		if s > 1 {
+			hot++
+		}
+	}
+	return hot
+}
+
+// closures collected in a map range do not run there; their bodies must
+// not be attributed to the loop.
+func closureBodyExempt(m map[string]float64) []func() float64 {
+	total := 0.0
+	var fns []func() float64
+	for k := range m {
+		_ = k
+		fns = append(fns, func() float64 { // want `append to fns inside range over map without a sorted-keys guard`
+			total += 1 // runs later, outside the range
+			return total
+		})
+	}
+	return fns
+}
+
+// allowed demonstrates the escape hatch: the directive suppresses exactly
+// the one finding below it, while reportPR3 above stays flagged.
+func allowed(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//repolint:allow mapiterorder(demonstration: consumer tolerates any order)
+		total += v
+	}
+	return total
+}

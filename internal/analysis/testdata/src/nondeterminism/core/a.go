@@ -1,0 +1,45 @@
+// Package core stands in for a numeric-core package (the path's last
+// segment is what the analyzer keys on): ambient inputs are forbidden here.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in the numeric core`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in the numeric core`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn is unseeded`
+}
+
+// seededOK is the idiom the rule points to: an explicit source threaded
+// from the caller. Constructors and methods on the seeded generator pass.
+func seededOK(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func env() string {
+	return os.Getenv("THERM_DEBUG") // want `os\.Getenv in the numeric core`
+}
+
+// fileOK: os use that is not an environment read is out of scope.
+func fileOK(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// allowedClock shows the escape hatch: the directive suppresses exactly
+// this read, while the one in clock stays flagged.
+func allowedClock() int64 {
+	//repolint:allow nondeterminism(telemetry only; value never reaches results)
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,15 @@
+// Package util is outside the numeric-core package list: the same ambient
+// reads that are flagged in ../core must pass untouched here.
+package util
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Jitter() int { return rand.Intn(10) }
+
+func Debug() string { return os.Getenv("THERM_DEBUG") }

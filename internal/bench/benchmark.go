@@ -81,7 +81,7 @@ func Generate(lib *celllib.Library, cfg Config) (*netlist.Design, error) {
 		buildUnit(d, u, clkPort.Net)
 	}
 	if errs := d.Check(); len(errs) != 0 {
-		return nil, fmt.Errorf("bench: generated design fails checks: %v (and %d more)", errs[0], len(errs)-1)
+		return nil, fmt.Errorf("bench: generated design fails checks: %w (and %d more)", errs[0], len(errs)-1)
 	}
 	return d, nil
 }

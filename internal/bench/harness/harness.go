@@ -216,7 +216,7 @@ func Run(sc bench.Scenario, opts Options) (*Report, error) {
 	// (in-core, row-aligned, site-aligned, non-overlapping, gap-free with
 	// fillers).
 	if errs := base.Placement.Validate(); len(errs) != 0 {
-		return rep, fmt.Errorf("harness: %s: baseline placement invalid: %v (and %d more)",
+		return rep, fmt.Errorf("harness: %s: baseline placement invalid: %w (and %d more)",
 			gen.Scenario, errs[0], len(errs)-1)
 	}
 	rep.pass("placement-invariants", fmt.Sprintf("%d cells legal", rep.Cells))
@@ -334,7 +334,7 @@ func Run(sc bench.Scenario, opts Options) (*Report, error) {
 			continue
 		}
 		if errs := pt.Placement.Validate(); len(errs) != 0 {
-			return rep, fmt.Errorf("harness: %s: %s point at overhead %.2f invalid: %v",
+			return rep, fmt.Errorf("harness: %s: %s point at overhead %.2f invalid: %w",
 				gen.Scenario, pt.Strategy, pt.AreaOverhead, errs[0])
 		}
 		validated++

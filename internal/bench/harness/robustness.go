@@ -157,7 +157,7 @@ func RunRobustness(sc bench.Scenario, opts RobustnessOptions) (*Report, error) {
 		latency := time.Since(tCancel)
 		f.Close()
 		if !errors.Is(serr, fault.ErrCanceled) {
-			return rep, fmt.Errorf("harness: %s: canceled sweep returned %v, want fault.ErrCanceled", gen.Scenario, serr)
+			return rep, fmt.Errorf("harness: %s: canceled sweep returned %w, want fault.ErrCanceled", gen.Scenario, serr)
 		}
 		if latency > opts.CancelLatency {
 			return rep, fmt.Errorf("harness: %s: cancellation took %v (bound %v)", gen.Scenario, latency, opts.CancelLatency)
@@ -220,7 +220,7 @@ func RunRobustness(sc bench.Scenario, opts RobustnessOptions) (*Report, error) {
 		f.Close()
 		var nc *fault.ErrNotConverged
 		if err == nil || !errors.As(err, &nc) {
-			return rep, fmt.Errorf("harness: %s: doubly-failed solve did not surface ErrNotConverged: %v", gen.Scenario, err)
+			return rep, fmt.Errorf("harness: %s: doubly-failed solve did not surface ErrNotConverged: %w", gen.Scenario, err)
 		}
 		rep.pass("nonconvergence-surfaced", fmt.Sprintf("typed error after %d iterations", nc.Iters))
 	}
@@ -233,7 +233,7 @@ func RunRobustness(sc bench.Scenario, opts RobustnessOptions) (*Report, error) {
 		var pe *fault.ErrPanic
 		if err == nil || !errors.As(err, &pe) {
 			f.Close()
-			return rep, fmt.Errorf("harness: %s: injected panic not contained: %v", gen.Scenario, err)
+			return rep, fmt.Errorf("harness: %s: injected panic not contained: %w", gen.Scenario, err)
 		}
 		if pe.Where == "" {
 			f.Close()
@@ -255,7 +255,7 @@ func RunRobustness(sc bench.Scenario, opts RobustnessOptions) (*Report, error) {
 		f.Close()
 		var se *fault.ErrSetup
 		if err == nil || !errors.As(err, &se) || se.Stage != "power-map" {
-			return rep, fmt.Errorf("harness: %s: corrupted power map not detected: %v", gen.Scenario, err)
+			return rep, fmt.Errorf("harness: %s: corrupted power map not detected: %w", gen.Scenario, err)
 		}
 		rep.pass("corrupt-power-detected", fmt.Sprintf("rejected at stage %q", se.Stage))
 	}

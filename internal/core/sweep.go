@@ -199,6 +199,7 @@ func SweepEfficiencyCtx(ctx context.Context, f *flow.Flow, opts SweepOptions) (*
 	if wantERI {
 		rowCounts = opts.ERIRows
 		if len(rowCounts) == 0 {
+			//repolint:allow ctxpair(geometry-only derivation over a handful of overheads; no solves inside)
 			for _, ov := range opts.Overheads {
 				rowCounts = append(rowCounts, RowsForAreaOverhead(baseline.Placement, ov))
 			}
@@ -425,6 +426,7 @@ func runTasks(ctx context.Context, tasks []func(context.Context) error, workers 
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//repolint:allow bareGo(runTasks is itself the sweep concurrency primitive the rule points to)
 		go func() {
 			defer wg.Done()
 			for idx := range next {
@@ -569,6 +571,7 @@ func ConcentratedExperimentCtx(ctx context.Context, f *flow.Flow, opts Concentra
 
 	rowCounts := opts.ERIRows
 	if len(rowCounts) == 0 {
+		//repolint:allow ctxpair(geometry-only derivation over a handful of overheads; no solves inside)
 		for _, ov := range opts.Overheads {
 			rowCounts = append(rowCounts, RowsForAreaOverhead(baseline.Placement, ov))
 		}

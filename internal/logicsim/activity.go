@@ -99,8 +99,17 @@ func (a *Activity) MeanActivity() float64 {
 	if len(a.TogglesPerCycle) == 0 {
 		return 0
 	}
+	// Accumulate in sorted-key order: float addition does not commute in
+	// rounding, so summing in map order would make the mean differ in the
+	// last bits from run to run.
+	names := make([]string, 0, len(a.TogglesPerCycle))
+	for name := range a.TogglesPerCycle {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	sum, n := 0.0, 0
-	for _, v := range a.TogglesPerCycle {
+	for _, name := range names {
+		v := a.TogglesPerCycle[name]
 		if v == 2.0 { // clock convention
 			continue
 		}

@@ -12,6 +12,7 @@ package logicsim
 
 import (
 	"fmt"
+	"sort"
 
 	"thermplace/internal/celllib"
 	"thermplace/internal/netlist"
@@ -196,12 +197,15 @@ func (s *Simulator) SetInput(port string, v bool) error {
 	return nil
 }
 
-// Inputs returns the names of the drivable primary inputs (clock excluded).
+// Inputs returns the names of the drivable primary inputs (clock excluded)
+// in sorted order, so callers that drive vectors positionally are
+// reproducible.
 func (s *Simulator) Inputs() []string {
 	out := make([]string, 0, len(s.inputs))
 	for name := range s.inputs {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

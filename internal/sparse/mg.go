@@ -379,9 +379,10 @@ func (lv *mgLevel) solveDirect(b, x []float64) {
 }
 
 // Apply runs one V-cycle on r: z = B·r with B the fixed SPD multigrid
-// operator. r is left untouched.
+// operator. r is left untouched. It delegates to ApplyCtx with a background
+// context, whose nil-Done fast path is exactly the uninstrumented cycle.
 func (g *MG) Apply(r, z []float64) {
-	g.cycle(0, r, z)
+	_ = g.ApplyCtx(context.Background(), r, z)
 }
 
 // ApplyCtx is Apply with cancellation: the context is checked at every level

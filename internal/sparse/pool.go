@@ -74,6 +74,7 @@ func (p *Pool) Parallel(k int) bool {
 	}
 	if !p.started {
 		for w := 0; w < p.workers; w++ {
+			//repolint:allow bareGo(Pool is itself the solver concurrency primitive the rule points to)
 			go p.worker(w)
 		}
 		p.started = true

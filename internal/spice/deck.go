@@ -64,7 +64,7 @@ func ParseDeck(r io.Reader) (*Circuit, error) {
 		}
 		value, err := strconv.ParseFloat(fields[3], 64)
 		if err != nil {
-			return nil, fmt.Errorf("spice: line %d: bad value %q: %v", lineNo, fields[3], err)
+			return nil, fmt.Errorf("spice: line %d: bad value %q: %w", lineNo, fields[3], err)
 		}
 		name := card[1:]
 		switch card[0] {
@@ -81,7 +81,7 @@ func ParseDeck(r io.Reader) (*Circuit, error) {
 			return nil, fmt.Errorf("spice: line %d: unsupported element card %q", lineNo, card)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("spice: line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("spice: line %d: %w", lineNo, err)
 		}
 	}
 	if err := scanner.Err(); err != nil {

@@ -3,6 +3,7 @@ package spice
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Method selects the linear solver used for the nodal equations.
@@ -174,6 +175,9 @@ func (c *Circuit) assemble() (*assembled, error) {
 			queue = append(queue, int32(id))
 		}
 	}
+	// Sort the seeds so the BFS visits nodes in a reproducible order
+	// regardless of the map iteration above.
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
 	for head := 0; head < len(queue); head++ {
 		cur := queue[head]
 		for k := adjPtr[cur]; k < adjPtr[cur+1]; k++ {

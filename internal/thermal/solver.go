@@ -385,6 +385,7 @@ func (s *Solver) SolveCtx(ctx context.Context, powerMap *geom.Grid) (res *Result
 		SolverResidual: residual,
 		Layers:         make([]*geom.Grid, s.nl),
 	}
+	//repolint:allow ctxpair(result marshalling over a few layers, after the solve already returned)
 	for l := 0; l < s.nl; l++ {
 		if s.cfg.SurfaceOnly && l != s.powerLayer {
 			continue
