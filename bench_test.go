@@ -10,9 +10,17 @@
 package thermplace_test
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"thermplace/internal/bench"
 	"thermplace/internal/celllib"
@@ -25,6 +33,7 @@ import (
 	"thermplace/internal/netlist"
 	"thermplace/internal/place"
 	"thermplace/internal/power"
+	"thermplace/internal/serve"
 	"thermplace/internal/spice"
 	"thermplace/internal/thermal"
 	"thermplace/internal/timing"
@@ -760,5 +769,83 @@ func BenchmarkFillerInsertion(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		place.InsertFillers(p)
+	}
+}
+
+// BenchmarkThermserveQueries drives the resident-design query server the way
+// its production shape intends — concurrent what-if queries over HTTP/JSON
+// against a warm flow — and reports service metrics alongside the runtime
+// cost: completed queries per second, the shed rate under the configured
+// admission bounds, and the p99 end-to-end latency. The query mix covers the
+// cached-baseline fast path, a re-placement analysis, an ERI delta and a
+// one-point sweep.
+func BenchmarkThermserveQueries(b *testing.B) {
+	sc := bench.Scenario{Family: bench.FamilyPaperSynth9, Seed: 7, TargetCells: 800}
+	gen, err := sc.Generate(celllib.Default65nm())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fcfg := flow.ScenarioConfig(gen.Scenario)
+	fcfg.SimCycles = 32
+	fcfg.RefinePasses = 0
+	fcfg.Thermal.NX, fcfg.Thermal.NY = 16, 16
+	srv := serve.NewServer(serve.Config{MaxInFlight: 4, MaxQueue: 8})
+	b.Cleanup(srv.Close)
+	if err := srv.AddDesign(context.Background(), "bench", gen.Design, gen.Workload, fcfg, nil); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	client := ts.Client()
+
+	paths := []string{
+		"/analyze?design=bench&util=" + strconv.FormatFloat(fcfg.Utilization, 'g', -1, 64),
+		"/analyze?design=bench&util=0.7",
+		"/delta?design=bench&strategy=eri&rows=2",
+		"/sweep?design=bench&overheads=0.3",
+	}
+	var (
+		mu              sync.Mutex
+		latencies       []float64 // milliseconds
+		completed, shed int
+		seq             atomic.Int64
+	)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			url := ts.URL + paths[int(seq.Add(1))%len(paths)]
+			t0 := time.Now()
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ms := float64(time.Since(t0)) / float64(time.Millisecond)
+			mu.Lock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				completed++
+				latencies = append(latencies, ms)
+			case http.StatusServiceUnavailable:
+				shed++ // admission bound under concurrent fire: expected
+			default:
+				mu.Unlock()
+				b.Errorf("query %s: unexpected status %d", url, resp.StatusCode)
+				return
+			}
+			mu.Unlock()
+		}
+	})
+	b.StopTimer()
+	if completed+shed == 0 {
+		b.Fatal("no queries ran")
+	}
+	b.ReportMetric(float64(completed)/b.Elapsed().Seconds(), "queries/s")
+	b.ReportMetric(100*float64(shed)/float64(completed+shed), "shed_pct")
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		b.ReportMetric(latencies[len(latencies)*99/100], "p99_ms")
 	}
 }

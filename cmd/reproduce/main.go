@@ -20,7 +20,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -307,13 +306,14 @@ func runCongestion(ctx context.Context, f *flow.Flow) {
 }
 
 func fatal(err error) {
-	if errors.Is(err, fault.ErrCanceled) {
+	code := fault.ExitCode(err)
+	if code == fault.ExitCanceled {
 		// A signal or the -timeout deadline fired; the pipeline unwound
-		// cleanly (solvers drained, no partial state). 130 is the
-		// conventional interrupted-by-signal exit status.
+		// cleanly (solvers drained, no partial state). ExitCanceled (130)
+		// is the conventional interrupted-by-signal exit status.
 		fmt.Fprintln(os.Stderr, "reproduce: canceled:", err)
-		os.Exit(130)
+	} else {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
 	}
-	fmt.Fprintln(os.Stderr, "reproduce:", err)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -17,7 +17,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -255,13 +254,14 @@ func writeFile(path string, fn func(*os.File) error) error {
 }
 
 func fatal(err error) {
-	if errors.Is(err, fault.ErrCanceled) {
+	code := fault.ExitCode(err)
+	if code == fault.ExitCanceled {
 		// A signal or the -timeout deadline fired; the pipeline unwound
-		// cleanly (solvers drained, no partial state). 130 is the
-		// conventional interrupted-by-signal exit status.
+		// cleanly (solvers drained, no partial state). ExitCanceled (130)
+		// is the conventional interrupted-by-signal exit status.
 		fmt.Fprintln(os.Stderr, "thermflow: canceled:", err)
-		os.Exit(130)
+	} else {
+		fmt.Fprintln(os.Stderr, "thermflow:", err)
 	}
-	fmt.Fprintln(os.Stderr, "thermflow:", err)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -2,6 +2,7 @@ package checks
 
 import (
 	"go/ast"
+	"strings"
 
 	"thermplace/internal/analysis"
 )
@@ -23,8 +24,30 @@ var BareGo = &analysis.Analyzer{
 	Run: runBareGo,
 }
 
+// bareGoPackages extends the numeric core for this one analyzer: the query
+// server (internal/serve) holds no numeric code — which is why it is not in
+// corePackages and the clock-hostile nondeterminism analyzer leaves it alone
+// — but its drain contract ("zero goroutines after Close, every in-flight
+// request tracked") depends on no goroutine existing outside the tracked
+// request path, so raw spawns are forbidden there too.
+var bareGoPackages = map[string]bool{
+	"serve": true,
+}
+
+func inBareGoPackage(path string) bool {
+	if inCorePackage(path) {
+		return true
+	}
+	for _, seg := range strings.Split(path, "/") {
+		if bareGoPackages[seg] {
+			return true
+		}
+	}
+	return false
+}
+
 func runBareGo(pass *analysis.Pass) error {
-	if !inCorePackage(pass.Path) {
+	if !inBareGoPackage(pass.Path) {
 		return nil
 	}
 	for _, f := range pass.Files {

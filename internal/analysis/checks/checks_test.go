@@ -27,5 +27,5 @@ func TestNondeterminism(t *testing.T) {
 }
 
 func TestBareGo(t *testing.T) {
-	lintest.Run(t, testdata, checks.BareGo, "barego/sparse", "barego/util")
+	lintest.Run(t, testdata, checks.BareGo, "barego/sparse", "barego/util", "barego/serve")
 }

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"thermplace/internal/bench"
+)
+
+// TestLoadChaosServer is the query-server acceptance test: concurrent
+// clients storm two resident designs through tight admission bounds while
+// stalls, shed admissions and a non-converging solve are injected, then a
+// drain begins with stalled queries still parked in-flight. Every contract
+// the server documents — bit-identical completed responses, typed fault
+// categories, bounded cache memory, zero post-drain admissions, zero
+// goroutine leakage — is asserted by the harness.
+func TestLoadChaosServer(t *testing.T) {
+	opts := LoadChaosOptions{}
+	if testing.Short() {
+		opts.Cells = 500
+		opts.Clients = 3
+		opts.DeadlineMS = 800
+		opts.DrainTimeout = 250 * time.Millisecond
+	}
+	rep, err := RunLoadChaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed() < 6 {
+		t.Errorf("only %d load/chaos properties verified: %+v", rep.Passed(), rep.Checks)
+	}
+	for _, c := range rep.Checks {
+		t.Logf("%-28s %s%s", c.Name, c.Detail, skipMark(c))
+	}
+}
+
+// TestLoadChaosRejectsBadScenario propagates generator validation errors.
+func TestLoadChaosRejectsBadScenario(t *testing.T) {
+	if _, err := RunLoadChaos(LoadChaosOptions{Families: []bench.Family{"no-such-family"}}); err == nil {
+		t.Fatal("unknown family must fail")
+	}
+}

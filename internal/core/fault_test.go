@@ -124,6 +124,54 @@ func TestRunTasksPanicContained(t *testing.T) {
 	}
 }
 
+// TestRunTasksPanicDuringCancel asserts the error-preference contract when a
+// sibling panics while the group's context is already canceled: the panic is
+// a genuine failure and must surface as the located *fault.ErrPanic, never
+// masked by the cancellation the other siblings are reporting.
+func TestRunTasksPanicDuringCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	tasks := []func(context.Context) error{
+		// Cancels the group once the sibling is in flight, so both tasks are
+		// executing when the cancellation lands (a recorded failure would
+		// otherwise skip the not-yet-started sibling).
+		func(tctx context.Context) error {
+			<-started
+			cancel()
+			<-tctx.Done()
+			return fault.Canceled(tctx.Err())
+		},
+		// Panics only after the cancellation has fired.
+		func(tctx context.Context) error {
+			close(started)
+			<-tctx.Done()
+			panic("sibling exploded during cancellation")
+		},
+	}
+	err := runTasks(ctx, tasks, 2)
+	var pe *fault.ErrPanic
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic during cancellation returned %v, want the contained *fault.ErrPanic", err)
+	}
+	if pe.Value != "sibling exploded during cancellation" {
+		t.Fatalf("panic value lost: %v", pe.Value)
+	}
+	if errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("panic error also matches ErrCanceled, so exit-code mapping would report 130 for a crash: %v", err)
+	}
+
+	// The sequential path, by contrast, never starts a task under an
+	// already-canceled context: there is nothing to panic, and the typed
+	// cancellation is the whole story.
+	err = runTasks(ctx, []func(context.Context) error{
+		func(context.Context) error { panic("must not run") },
+	}, 1)
+	if !errors.Is(err, fault.ErrCanceled) {
+		t.Fatalf("sequential path under a canceled context returned %v, want fault.ErrCanceled", err)
+	}
+}
+
 // TestSweepCancelMidSweep cancels a sweep stalled inside a thermal solve and
 // asserts the typed error and the zero-leak guarantee (the harness
 // additionally asserts the <100ms latency bound on the paper-scale sweep).

@@ -1,0 +1,39 @@
+package fault
+
+import (
+	"context"
+	"errors"
+)
+
+// Conventional process exit statuses for the analysis commands. Cancellation
+// (a signal or an expired -timeout) is not an analysis failure: scripts
+// driving reproduce/thermflow/thermserve distinguish "the run was cut short"
+// from "the pipeline broke" by the exit code alone.
+const (
+	// ExitOK is a clean completion.
+	ExitOK = 0
+	// ExitFailure is a genuine analysis failure (solver error, bad input).
+	ExitFailure = 1
+	// ExitCanceled is the conventional interrupted-by-signal status
+	// (128 + SIGINT), used for every cancellation-induced exit: signals,
+	// -timeout deadlines, canceled contexts.
+	ExitCanceled = 130
+)
+
+// ExitCode maps an error to the process exit status the analysis commands
+// share: 0 for nil, ExitCanceled for any cancellation-induced failure —
+// matched through the taxonomy sentinel ErrCanceled and, for errors that
+// escaped the pipeline unwrapped, the raw context errors — and ExitFailure
+// for everything else.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return ExitCanceled
+	default:
+		return ExitFailure
+	}
+}

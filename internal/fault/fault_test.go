@@ -118,3 +118,62 @@ func TestInjectorProbes(t *testing.T) {
 		t.Fatalf("injected setup failure not typed: %v", err)
 	}
 }
+
+func TestServiceProbes(t *testing.T) {
+	// The zero-value / nil contract every probe shares.
+	var nilInj *Injector
+	if nilInj.NextAnalyze() != 0 || nilInj.StallAnalyze(1) || nilInj.FailAdmit() {
+		t.Fatal("nil injector must inject nothing")
+	}
+	var zero Injector
+	if zero.StallAnalyze(zero.NextAnalyze()) || zero.FailAdmit() {
+		t.Fatal("zero-value injector must inject nothing")
+	}
+
+	// StallAnalyzeN arms a prefix: analyses 1..N stall, N+1 onward run.
+	in := &Injector{StallAnalyzeN: 2}
+	if n := in.NextAnalyze(); n != 1 || !in.StallAnalyze(n) {
+		t.Fatalf("analysis 1 must stall (got ordinal %d)", n)
+	}
+	if n := in.NextAnalyze(); n != 2 || !in.StallAnalyze(n) {
+		t.Fatalf("analysis 2 must stall (got ordinal %d)", n)
+	}
+	if n := in.NextAnalyze(); n != 3 || in.StallAnalyze(n) {
+		t.Fatalf("analysis 3 must run (got ordinal %d)", n)
+	}
+	if in.StallAnalyze(0) {
+		t.Fatal("ordinal 0 (nil-injector call site) must never stall")
+	}
+
+	// FailAdmitN sheds exactly the first N admission attempts.
+	adm := &Injector{FailAdmitN: 2}
+	got := []bool{adm.FailAdmit(), adm.FailAdmit(), adm.FailAdmit(), adm.FailAdmit()}
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FailAdmit sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("solver exploded"), ExitFailure},
+		{fmt.Errorf("flow: %w", &ErrNotConverged{Iters: 9}), ExitFailure},
+		{Canceled(context.Canceled), ExitCanceled},
+		{fmt.Errorf("core: sweep: %w", Canceled(context.DeadlineExceeded)), ExitCanceled},
+		// Raw context errors that escaped the pipeline unwrapped still exit
+		// as cancellations, not analysis failures.
+		{context.Canceled, ExitCanceled},
+		{fmt.Errorf("reading config: %w", context.DeadlineExceeded), ExitCanceled},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Fatalf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

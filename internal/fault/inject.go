@@ -39,9 +39,26 @@ type Injector struct {
 	// the first power map built through the flow — a deliberate corruption
 	// the cross-implementation equality checks must catch.
 	CorruptPowerW float64
+	// StallAnalyzeN makes the first N (1-based ordinals 1..N) flow analyses
+	// through this injector block until their context is canceled (they then
+	// report ErrCanceled). Stalling a prefix rather than a single ordinal is
+	// what lets the service chaos harness create deterministic overload: the
+	// first N admitted queries park in their analysis, occupying every
+	// in-flight slot, until their deadlines fire. With a context that never
+	// fires a stalled analysis blocks forever — always pair this probe with
+	// cancelable contexts. Zero disables.
+	StallAnalyzeN int
+	// FailAdmitN makes the first N (1-based ordinals 1..N) admission
+	// attempts against this injector report a full queue, so the query is
+	// shed before any work runs. It drives the service layer's load-shedding
+	// path deterministically, without needing real queue pressure. Zero
+	// disables.
+	FailAdmitN int
 
 	solves    atomic.Int64
 	powerMaps atomic.Int64
+	analyses  atomic.Int64
+	admits    atomic.Int64
 }
 
 // NextSolve advances and returns the 1-based thermal-solve ordinal; 0 from a
@@ -79,6 +96,33 @@ func (in *Injector) MGSetupError() error {
 		return nil
 	}
 	return &ErrSetup{Stage: "refresh", Err: errors.New("fault: injected multigrid setup failure")}
+}
+
+// NextAnalyze advances and returns the 1-based flow-analysis ordinal; 0 from
+// a nil injector.
+func (in *Injector) NextAnalyze() int {
+	if in == nil {
+		return 0
+	}
+	return int(in.analyses.Add(1))
+}
+
+// StallAnalyze reports whether analysis number n should block until its
+// context is canceled (n within the armed 1..StallAnalyzeN prefix).
+func (in *Injector) StallAnalyze(n int) bool {
+	return in != nil && in.StallAnalyzeN != 0 && n >= 1 && n <= in.StallAnalyzeN
+}
+
+// FailAdmit advances the admission ordinal and reports whether this
+// admission attempt should be refused as if the queue were full (the attempt
+// falls within the armed 1..FailAdmitN prefix). Unlike the other probes it
+// advances and tests in one call: admission sites have no use for the
+// ordinal beyond the decision.
+func (in *Injector) FailAdmit() bool {
+	if in == nil || in.FailAdmitN == 0 {
+		return false
+	}
+	return int(in.admits.Add(1)) <= in.FailAdmitN
 }
 
 // CorruptPower applies the power-map corruption probe to vals (watts per

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"thermplace/internal/fault"
+	"thermplace/internal/place"
 )
 
 // TestAnalyzeCtxBitIdenticalAndCancelable covers both halves of the context
@@ -78,6 +79,63 @@ func TestAnalyzeCancelMidSolveNoLeak(t *testing.T) {
 	// The flow recovers: the next analysis (solve 2, not stalled) succeeds.
 	if _, err := f.AnalyzeCtx(context.Background(), p); err != nil {
 		t.Fatalf("analysis after cancellation: %v", err)
+	}
+	f.Close()
+	waitGoroutines(t, base)
+}
+
+// TestStallAnalyzeProbe covers the flow-level wiring of the service chaos
+// probe: an analysis within the armed StallAnalyzeN prefix parks before
+// doing any work and unparks only through its context, surfacing the typed
+// cancellation; ordinals past the prefix are untouched. The zero-delta no-op
+// (parent + empty delta + same placement) answers before the probe and must
+// not consume an ordinal.
+func TestStallAnalyzeProbe(t *testing.T) {
+	base := runtime.NumGoroutine()
+	f := smallFlow(t)
+	defer f.Close()
+	in := &fault.Injector{}
+	f.Config.Thermal.Inject = in
+	an, err := f.AnalyzeBaseline() // analysis ordinal 1, before arming
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in.StallAnalyzeN = 2 // ordinal 2 stalls; ordinal 3 onward passes
+
+	// The zero-delta no-op consumes no ordinal: the stall stays armed.
+	if again, err := f.AnalyzeWithCtx(context.Background(), an.Placement,
+		AnalyzeOptions{Parent: an, Delta: &place.Delta{}}); err != nil || again != an {
+		t.Fatalf("zero-delta no-op returned (%v, %v), want the parent analysis back", again, err)
+	}
+
+	// Ordinal 2: parks until the context fires, then reports the typed
+	// cancellation promptly instead of hanging.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := f.AnalyzeCtx(ctx, an.Placement)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it reach the park
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, fault.ErrCanceled) {
+			t.Fatalf("stalled analysis returned %v, want fault.ErrCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled analysis did not unpark on cancellation")
+	}
+
+	// Ordinal 3 is past the prefix: the same call now succeeds, and the
+	// result is bit-identical to the unprobed baseline.
+	redo, err := f.AnalyzeCtx(context.Background(), an.Placement)
+	if err != nil {
+		t.Fatalf("analysis past the stall prefix failed: %v", err)
+	}
+	if redo.Thermal.PeakRise != an.Thermal.PeakRise {
+		t.Fatalf("post-stall analysis diverged: peak rise %v vs %v", redo.Thermal.PeakRise, an.Thermal.PeakRise)
 	}
 	f.Close()
 	waitGoroutines(t, base)

@@ -448,6 +448,34 @@ type Analysis struct {
 // PeakRise returns the peak temperature rise above ambient in kelvin.
 func (a *Analysis) PeakRise() float64 { return a.Thermal.PeakRise }
 
+// MemoryBytes estimates the retained size of the analysis' numeric payload
+// — the solved-state warm-start field, the power map, the materialized
+// thermal layers and the power report's per-instance breakdowns — which is
+// what dominates a resident cached analysis. Shared structures (the
+// placement, the design) are deliberately excluded: cached analyses of one
+// design share them, so charging them per entry would overcount. The
+// estimate is the accounting unit of the query server's solved-state LRU.
+func (a *Analysis) MemoryBytes() int64 {
+	const f64 = 8
+	n := int64(0)
+	n += f64 * int64(len(a.state))
+	if a.PowerMap != nil {
+		n += f64 * int64(len(a.PowerMap.Values()))
+	}
+	if a.Thermal != nil {
+		for _, l := range a.Thermal.Layers {
+			if l != nil {
+				n += f64 * int64(len(l.Values()))
+			}
+		}
+	}
+	if a.Power != nil {
+		n += a.Power.MemoryBytes()
+	}
+	n += int64(len(a.Hotspots)) * 128 // rect + cells bookkeeping, coarse
+	return n
+}
+
 // AnalyzeOptions parameterizes a lineage-aware analysis.
 type AnalyzeOptions struct {
 	// Parent is the analysis the placement derives from (the baseline for
@@ -504,6 +532,13 @@ func (f *Flow) AnalyzeWithCtx(ctx context.Context, p *place.Placement, opts Anal
 	if par := opts.Parent; par != nil && opts.Delta != nil && opts.Delta.Empty() && par.Placement == p {
 		// Zero-delta no-op: the parent already measured this placement.
 		return par, nil
+	}
+	if in := f.Config.Thermal.Inject; in.StallAnalyze(in.NextAnalyze()) {
+		// Injected stall (Injector.StallAnalyzeN): park until the caller
+		// cancels, simulating an analysis that hangs before reaching the
+		// solver — the overload the service chaos harness drives. The
+		// ctx.Err() check below then reports the cancellation.
+		<-ctx.Done()
 	}
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, fmt.Errorf("flow: analysis: %w", fault.Canceled(cerr))

@@ -68,6 +68,15 @@ type Report struct {
 // Instances returns the estimated instances in deterministic design order.
 func (r *Report) Instances() []*netlist.Instance { return r.insts }
 
+// MemoryBytes estimates the retained size of the report's own storage: the
+// instance list (pointers into the shared design) and the dense per-ordinal
+// breakdowns. It is part of the memory accounting of a resident cached
+// analysis.
+func (r *Report) MemoryBytes() int64 {
+	const ptr = 8
+	return ptr*int64(len(r.insts)) + int64(len(r.perInst))*4*8
+}
+
 // Breakdown returns the power breakdown of one instance.
 func (r *Report) Breakdown(inst *netlist.Instance) Breakdown {
 	if ord := inst.Ord(); ord < len(r.perInst) {

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is the per-design two-stage admission controller: a channel
+// semaphore bounds the queries executing concurrently, and an atomic counter
+// bounds the queries waiting for a slot. A query that cannot even queue is
+// shed immediately (ShedQueueFull); a queued query whose context expires
+// before a slot frees is shed without ever starting (ShedDeadline).
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(inflight, queue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, inflight),
+		maxQueue: int64(queue),
+	}
+}
+
+// acquire blocks until an in-flight slot is available, the context fires, or
+// the queue bound rejects the query outright. On success it returns the
+// release function for the slot; on failure the returned error is a
+// *shedError and no slot is held. draining is re-checked after a queued wait
+// so a query admitted to the queue before a drain began still never starts
+// after it.
+func (a *admission) acquire(ctx context.Context, draining func() bool) (func(), error) {
+	// A query arriving with an already-expired deadline is shed outright —
+	// it must never start, even when a slot is free.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, &shedError{reason: ShedDeadline, cause: cerr}
+	}
+	release := func() { <-a.slots }
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, &shedError{reason: ShedQueueFull}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		// A slot and an expired deadline can race; a query whose deadline
+		// already passed must be shed, never started.
+		if cerr := ctx.Err(); cerr != nil {
+			release()
+			return nil, &shedError{reason: ShedDeadline, cause: cerr}
+		}
+		if draining != nil && draining() {
+			release()
+			return nil, &shedError{reason: ShedDraining}
+		}
+		return release, nil
+	case <-ctx.Done():
+		return nil, &shedError{reason: ShedDeadline, cause: ctx.Err()}
+	}
+}
+
+// inQueue returns the current number of queued queries (observability only).
+func (a *admission) inQueue() int64 { return a.queued.Load() }
+
+// inFlight returns the current number of executing queries.
+func (a *admission) inFlight() int { return len(a.slots) }

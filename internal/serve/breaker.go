@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"thermplace/internal/fault"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // primary (multigrid) flow in use
+	breakerOpen                         // pinned to the Jacobi fallback
+	breakerHalfOpen                     // cooldown over; one probe may retry
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// breaker guards a design's multigrid-preconditioned primary flow. After
+// `trips` consecutive solver faults (ErrNotConverged / ErrSetup) it opens:
+// queries are routed to the Jacobi fallback flow for the cooldown window.
+// Once the cooldown elapses it half-opens: exactly one query probes the
+// primary while the rest stay on the fallback; a clean probe closes the
+// breaker, a faulted probe reopens it for another cooldown.
+//
+// Cancellations never move the automaton — an expired deadline says nothing
+// about the solver's health.
+type breaker struct {
+	trips    int
+	cooldown time.Duration
+	now      func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int // consecutive qualifying failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(trips int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{trips: trips, cooldown: cooldown, now: now}
+}
+
+// route decides where the next query runs. primary=false routes the query to
+// the Jacobi fallback (a degraded response). probe=true marks the query as
+// the half-open probe; its outcome must be reported through record with the
+// same flag.
+func (b *breaker) route() (primary, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		fallthrough
+	default: // breakerHalfOpen
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// record reports the outcome of a routed query. Only primary outcomes move
+// the automaton; fallback queries are outside its jurisdiction.
+func (b *breaker) record(primary, probe bool, err error) {
+	if !primary {
+		return
+	}
+	qualifies := isSolverFault(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		switch {
+		case err == nil:
+			b.state = breakerClosed
+			b.fails = 0
+		case qualifies:
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+		// A canceled probe is inconclusive: stay half-open, the next query
+		// probes again.
+		return
+	}
+	if b.state != breakerClosed {
+		return
+	}
+	switch {
+	case err == nil:
+		b.fails = 0
+	case qualifies:
+		b.fails++
+		if b.fails >= b.trips {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.fails = 0
+		}
+	}
+}
+
+// current returns the state name for /statz.
+func (b *breaker) current() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}
+
+// isSolverFault reports whether the error is a genuine solver-health signal:
+// a non-converged solve or a preconditioner setup failure. Cancellations,
+// shed queries and input errors never qualify.
+func isSolverFault(err error) bool {
+	if err == nil {
+		return false
+	}
+	var nc *fault.ErrNotConverged
+	var se *fault.ErrSetup
+	return errors.As(err, &nc) || errors.As(err, &se)
+}

@@ -1,0 +1,357 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"thermplace/internal/core"
+	"thermplace/internal/flow"
+	"thermplace/internal/geom"
+	"thermplace/internal/hotspot"
+	"thermplace/internal/netlist"
+)
+
+// Kind identifies a query type.
+type Kind string
+
+const (
+	// KindAnalyze measures the design at one placement utilization.
+	KindAnalyze Kind = "analyze"
+	// KindERI applies the empty-row-insertion transform at the baseline's
+	// hotspots and measures the result.
+	KindERI Kind = "eri"
+	// KindHW relaxes utilization to the requested overhead and applies the
+	// hotspot-wrapper transform on top (the paper's HW strategy).
+	KindHW Kind = "hw"
+	// KindSweep runs a small efficiency sweep over a list of overheads.
+	KindSweep Kind = "sweep"
+)
+
+// Query is one parsed what-if question against a resident design. Its
+// canonical form (Key) is the cache key: two requests that parse to the same
+// Query are interchangeable.
+type Query struct {
+	Kind Kind
+	// Utilization is the target placement utilization (KindAnalyze; zero
+	// means the design's baseline utilization).
+	Utilization float64
+	// Rows is the empty-row count (KindERI; zero derives it from Overhead).
+	Rows int
+	// Overhead is the fractional area overhead (KindHW, and KindERI when
+	// Rows is zero).
+	Overhead float64
+	// Overheads are the sweep overheads (KindSweep; empty uses the paper's
+	// Figure 6 range), kept sorted so equivalent sweeps share a cache key.
+	Overheads []float64
+	// Full requests the solved surface temperature map in the response.
+	Full bool
+}
+
+// Key returns the canonical cache key of the query. Floats are formatted
+// with strconv 'g'/-1, which round-trips float64 exactly — two queries share
+// a key if and only if they are the same computation.
+func (q Query) Key() string {
+	var b strings.Builder
+	b.WriteString(string(q.Kind))
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	switch q.Kind {
+	case KindAnalyze:
+		b.WriteString("?util=" + ff(q.Utilization))
+	case KindERI:
+		b.WriteString("?rows=" + strconv.Itoa(q.Rows) + "&overhead=" + ff(q.Overhead))
+	case KindHW:
+		b.WriteString("?overhead=" + ff(q.Overhead))
+	case KindSweep:
+		b.WriteString("?overheads=")
+		for i, ov := range q.Overheads {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(ff(ov))
+		}
+	}
+	if q.Full {
+		b.WriteString("&full=1")
+	}
+	return b.String()
+}
+
+// ParseQuery builds a Query of the given kind from URL parameters. Errors
+// are *httpStatusError with status 400.
+func ParseQuery(kind Kind, vals url.Values) (Query, error) {
+	q := Query{Kind: kind}
+	badReq := func(format string, a ...any) (Query, error) {
+		return Query{}, &httpStatusError{status: http.StatusBadRequest, category: "bad-request", msg: fmt.Sprintf(format, a...)}
+	}
+	getFloat := func(name string, dst *float64) error {
+		s := vals.Get(name)
+		if s == "" {
+			return nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("parameter %s=%q: %w", name, s, err)
+		}
+		*dst = v
+		return nil
+	}
+	switch kind {
+	case KindAnalyze:
+		if err := getFloat("util", &q.Utilization); err != nil {
+			return badReq("%v", err)
+		}
+		if q.Utilization < 0 || q.Utilization > 1 {
+			return badReq("utilization %g outside (0, 1]", q.Utilization)
+		}
+	case KindERI:
+		if s := vals.Get("rows"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				return badReq("parameter rows=%q: not a non-negative integer", s)
+			}
+			q.Rows = n
+		}
+		if err := getFloat("overhead", &q.Overhead); err != nil {
+			return badReq("%v", err)
+		}
+		if q.Rows == 0 && q.Overhead <= 0 {
+			return badReq("eri requires rows or a positive overhead")
+		}
+	case KindHW:
+		if err := getFloat("overhead", &q.Overhead); err != nil {
+			return badReq("%v", err)
+		}
+		if q.Overhead <= 0 {
+			return badReq("hw requires a positive overhead")
+		}
+	case KindSweep:
+		if s := vals.Get("overheads"); s != "" {
+			for _, part := range strings.Split(s, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+				if err != nil || v <= 0 {
+					return badReq("parameter overheads: bad element %q", part)
+				}
+				q.Overheads = append(q.Overheads, v)
+			}
+			q.Overheads = sortedOverheads(q.Overheads)
+		}
+	default:
+		return badReq("unknown query kind %q", kind)
+	}
+	if s := vals.Get("full"); s != "" {
+		full, err := strconv.ParseBool(s)
+		if err != nil {
+			return badReq("parameter full=%q: not a boolean", s)
+		}
+		q.Full = full
+	}
+	return q, nil
+}
+
+// HotspotSummary is the JSON form of one detected hotspot.
+type HotspotSummary struct {
+	ID        int     `json:"id"`
+	PeakRiseK float64 `json:"peak_rise_k"`
+	MeanRiseK float64 `json:"mean_rise_k"`
+	AreaUm2   float64 `json:"area_um2"`
+	Cells     int     `json:"cells"`
+}
+
+// SweepPoint is the JSON form of one efficiency-sweep point.
+type SweepPoint struct {
+	Strategy      string  `json:"strategy"`
+	AreaOverhead  float64 `json:"area_overhead"`
+	TempReduction float64 `json:"temp_reduction"`
+	PeakRiseK     float64 `json:"peak_rise_k"`
+	Rows          int     `json:"rows,omitempty"`
+	Utilization   float64 `json:"utilization"`
+}
+
+// Result is the JSON response of a completed query. Float64 values survive
+// the JSON round trip exactly (encoding/json emits the shortest decimal that
+// parses back to the same bits), which is what lets the chaos harness assert
+// bit-identity between served responses and direct flow calls.
+type Result struct {
+	Design string `json:"design"`
+	Kind   Kind   `json:"kind"`
+	Query  string `json:"query"`
+	// Degraded marks a response computed on the Jacobi fallback flow behind
+	// an open circuit breaker: numerically sound, but not bit-identical to
+	// the multigrid primary.
+	Degraded bool `json:"degraded"`
+	// Cached marks a response served from the solved-state LRU.
+	Cached bool `json:"cached"`
+
+	Utilization   float64 `json:"utilization,omitempty"`
+	AreaOverhead  float64 `json:"area_overhead,omitempty"`
+	Rows          int     `json:"rows,omitempty"`
+	PeakRiseK     float64 `json:"peak_rise_k,omitempty"`
+	TempReduction float64 `json:"temp_reduction,omitempty"`
+	TotalPowerW   float64 `json:"total_power_w,omitempty"`
+
+	Hotspots []HotspotSummary `json:"hotspots,omitempty"`
+	Points   []SweepPoint     `json:"points,omitempty"`
+	// Surface is the solved surface temperature-rise map in kelvin, row-major
+	// [ny][nx] (present when the query asked full=1).
+	Surface [][]float64 `json:"surface,omitempty"`
+}
+
+// Exec runs one query against a flow. It is a pure function of the flow's
+// resident baseline and the query: every thermal solve warm-starts from a
+// lineage that begins at the baseline and lives entirely inside this call,
+// so the result is bit-identical no matter how many other queries run
+// concurrently, in what order, or whether a cached intermediate was evicted.
+// That property is the contract the chaos harness checks — a served response
+// must equal a direct Exec on an equivalently configured flow.
+//
+// The returned cost is the memory accounting of the solved state behind the
+// result (flow.Analysis.MemoryBytes), the unit of the server's LRU budget.
+func Exec(ctx context.Context, f *flow.Flow, q Query) (*Result, int64, error) {
+	baseline, err := f.AnalyzeBaselineCtx(ctx)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: baseline: %w", err)
+	}
+	baseRise := baseline.Thermal.PeakRise
+	baseArea := baseline.Placement.FP.CoreArea()
+	res := &Result{Kind: q.Kind, Query: q.Key()}
+
+	finish := func(an *flow.Analysis, rows int) (*Result, int64, error) {
+		res.Utilization = f.Config.Utilization / (an.Placement.FP.CoreArea() / baseArea)
+		res.AreaOverhead = an.Placement.FP.CoreArea()/baseArea - 1
+		res.Rows = rows
+		res.PeakRiseK = an.Thermal.PeakRise
+		if baseRise > 0 {
+			res.TempReduction = (baseRise - an.Thermal.PeakRise) / baseRise
+		}
+		res.TotalPowerW = an.Power.Total()
+		for _, h := range an.Hotspots {
+			res.Hotspots = append(res.Hotspots, HotspotSummary{
+				ID: h.ID, PeakRiseK: h.PeakRise, MeanRiseK: h.MeanRise,
+				AreaUm2: h.AreaUm2, Cells: len(h.Cells),
+			})
+		}
+		if q.Full {
+			res.Surface = gridRows(an.Thermal.RiseMap())
+		}
+		return res, an.MemoryBytes(), nil
+	}
+
+	switch q.Kind {
+	case KindAnalyze:
+		util := q.Utilization
+		if util == 0 {
+			util = f.Config.Utilization
+		}
+		// ReflowAt at the baseline utilization returns the cached baseline
+		// placement with an empty delta, which AnalyzeWithCtx resolves to the
+		// cached baseline analysis — the no-work fast path.
+		p, delta, err := f.ReflowAt(util)
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: analyze at %g: %w", util, err)
+		}
+		an, err := f.AnalyzeWithCtx(ctx, p, flow.AnalyzeOptions{Parent: baseline, Delta: delta})
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: analyze at %g: %w", util, err)
+		}
+		return finish(an, 0)
+
+	case KindERI:
+		rows := q.Rows
+		if rows == 0 {
+			rows = core.RowsForAreaOverhead(baseline.Placement, q.Overhead)
+		}
+		p, delta, err := core.EmptyRowInsertionDelta(baseline.Placement, baseline.Hotspots, core.DefaultERIOptions(rows))
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: eri %d rows: %w", rows, err)
+		}
+		an, err := f.AnalyzeWithCtx(ctx, p, flow.AnalyzeOptions{Parent: baseline, Delta: delta})
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: eri %d rows: %w", rows, err)
+		}
+		return finish(an, rows)
+
+	case KindHW:
+		// Mirror the sweep's HW task: relax utilization to the overhead,
+		// analyze the Default placement against the baseline, then wrap the
+		// tight hotspots of that intermediate and analyze the wrapped
+		// placement against it — the lineage chain lives inside this call.
+		util := f.Config.Utilization / (1 + q.Overhead)
+		p, delta, err := f.ReflowAt(util)
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: hw at %g: %w", q.Overhead, err)
+		}
+		an, err := f.AnalyzeWithCtx(ctx, p, flow.AnalyzeOptions{Parent: baseline, Delta: delta})
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: hw at %g: %w", q.Overhead, err)
+		}
+		spots := hotspot.Detect(an.Thermal.RiseMap(), hotspot.Options{ThresholdFrac: 0.75, MinCells: 2})
+		if len(spots) == 0 {
+			return nil, 0, &httpStatusError{
+				status:   http.StatusUnprocessableEntity,
+				category: "no-hotspots",
+				msg:      fmt.Sprintf("no tight hotspots at overhead %g; nothing to wrap", q.Overhead),
+			}
+		}
+		wopts := core.DefaultWrapperOptions(func(inst *netlist.Instance) float64 {
+			return an.Power.InstancePower(inst)
+		})
+		hp, hdelta, err := core.HotspotWrapperDelta(an.Placement, spots, wopts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: hw at %g: %w", q.Overhead, err)
+		}
+		han, err := f.AnalyzeWithCtx(ctx, hp, flow.AnalyzeOptions{Parent: an, Delta: hdelta})
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: hw at %g: %w", q.Overhead, err)
+		}
+		return finish(han, 0)
+
+	case KindSweep:
+		// Workers: 1 — the server's concurrency unit is the query, and the
+		// admission controller's in-flight bound must bound solver work; a
+		// sweep fanning out internally would break that accounting.
+		sres, err := core.SweepEfficiencyCtx(ctx, f, core.SweepOptions{
+			Overheads:   q.Overheads,
+			Workers:     1,
+			Incremental: true,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: sweep: %w", err)
+		}
+		res.Utilization = sres.BaselineUtilization
+		res.PeakRiseK = baseRise
+		res.TotalPowerW = baseline.Power.Total()
+		for _, pt := range sres.Points {
+			res.Points = append(res.Points, SweepPoint{
+				Strategy:      string(pt.Strategy),
+				AreaOverhead:  pt.AreaOverhead,
+				TempReduction: pt.TempReduction,
+				PeakRiseK:     pt.PeakRise,
+				Rows:          pt.Rows,
+				Utilization:   pt.Utilization,
+			})
+		}
+		// No analyses are retained (KeepAnalyses false): charge a flat
+		// summary cost instead of solver-state bytes.
+		return res, 2048 + 512*int64(len(res.Points)), nil
+
+	default:
+		return nil, 0, &httpStatusError{status: http.StatusBadRequest, category: "bad-request", msg: fmt.Sprintf("unknown query kind %q", q.Kind)}
+	}
+}
+
+// gridRows converts a grid to row-major [ny][nx] JSON-ready rows.
+func gridRows(g *geom.Grid) [][]float64 {
+	rows := make([][]float64, g.NY)
+	for iy := 0; iy < g.NY; iy++ {
+		row := make([]float64, g.NX)
+		for ix := 0; ix < g.NX; ix++ {
+			row[ix] = g.At(ix, iy)
+		}
+		rows[iy] = row
+	}
+	return rows
+}

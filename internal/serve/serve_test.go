@@ -1,0 +1,553 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"thermplace/internal/bench"
+	"thermplace/internal/celllib"
+	"thermplace/internal/fault"
+	"thermplace/internal/flow"
+	"thermplace/internal/thermal"
+)
+
+func TestTrackerDrain(t *testing.T) {
+	var tr tracker
+	if !tr.enter() {
+		t.Fatal("enter must succeed before drain")
+	}
+	tr.beginDrain()
+	if tr.enter() {
+		t.Fatal("enter must fail during drain")
+	}
+	idle := tr.awaitIdle()
+	select {
+	case <-idle:
+		t.Fatal("idle fired with a request still in flight")
+	case <-time.After(10 * time.Millisecond):
+	}
+	tr.exit()
+	select {
+	case <-idle:
+	case <-time.After(time.Second):
+		t.Fatal("idle did not fire after last exit")
+	}
+	// Idempotent drain on an idle tracker resolves immediately.
+	tr.beginDrain()
+	select {
+	case <-tr.awaitIdle():
+	case <-time.After(time.Second):
+		t.Fatal("awaitIdle on an idle draining tracker must resolve immediately")
+	}
+}
+
+func TestAdmissionBounds(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+
+	rel1, err := a.acquire(ctx, nil)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	// Occupy the single queue slot with a waiter.
+	waiterCtx, waiterCancel := context.WithCancel(ctx)
+	defer waiterCancel()
+	got := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rel, werr := a.acquire(waiterCtx, nil)
+		if rel != nil {
+			defer rel()
+		}
+		got <- werr
+	}()
+	for a.inQueue() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third query: queue full, shed immediately.
+	var shed *shedError
+	if _, err := a.acquire(ctx, nil); !errors.As(err, &shed) || shed.reason != ShedQueueFull {
+		t.Fatalf("full queue must shed with %s, got %v", ShedQueueFull, err)
+	}
+
+	// The queued waiter's deadline expires: shed without starting.
+	waiterCancel()
+	if werr := <-got; !errors.As(werr, &shed) || shed.reason != ShedDeadline {
+		t.Fatalf("expired queued query must shed with %s, got %v", ShedDeadline, werr)
+	}
+	wg.Wait()
+
+	// An expired context never acquires, even with a free slot queued.
+	rel1()
+	expired, cancel := context.WithCancel(ctx)
+	cancel()
+	if rel, err := a.acquire(expired, nil); err == nil {
+		rel()
+		t.Fatal("expired context acquired a slot")
+	}
+
+	// Draining re-check after a queued wait sheds instead of starting.
+	rel2, err := a.acquire(ctx, nil)
+	if err != nil {
+		t.Fatalf("re-acquire: %v", err)
+	}
+	drained := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rel, werr := a.acquire(ctx, func() bool { return true })
+		if rel != nil {
+			defer rel()
+		}
+		drained <- werr
+	}()
+	for a.inQueue() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	rel2()
+	if werr := <-drained; !errors.As(werr, &shed) || shed.reason != ShedDraining {
+		t.Fatalf("queued query on a draining server must shed with %s, got %v", ShedDraining, werr)
+	}
+	wg.Wait()
+}
+
+func TestBreakerAutomaton(t *testing.T) {
+	var mu sync.Mutex
+	tm := time.Unix(0, 0)
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return tm }
+	advance := func(d time.Duration) { mu.Lock(); tm = tm.Add(d); mu.Unlock() }
+
+	b := newBreaker(2, time.Minute, now)
+	fail := fmt.Errorf("flow: thermal simulation: %w", &fault.ErrNotConverged{Iters: 9})
+
+	// Closed: primary in use; one failure does not trip, a success resets.
+	if p, _ := b.route(); !p {
+		t.Fatal("closed breaker must route to primary")
+	}
+	b.record(true, false, fail)
+	b.record(true, false, nil)
+	b.record(true, false, fail)
+	if p, _ := b.route(); !p {
+		t.Fatal("one failure after a success must not trip a trips=2 breaker")
+	}
+	// Two consecutive qualifying failures open it. Cancellations never count.
+	b.record(true, false, fault.Canceled(context.Canceled))
+	b.record(true, false, fail)
+	b.record(true, false, fail)
+	if p, _ := b.route(); p {
+		t.Fatal("breaker must be open after two consecutive solver faults")
+	}
+	if got := b.current(); got != "open" {
+		t.Fatalf("state = %s, want open", got)
+	}
+
+	// Cooldown over: exactly one probe goes to the primary, the rest stay on
+	// the fallback.
+	advance(2 * time.Minute)
+	p1, probe1 := b.route()
+	if !p1 || !probe1 {
+		t.Fatalf("first route after cooldown must probe the primary (primary=%v probe=%v)", p1, probe1)
+	}
+	if p2, _ := b.route(); p2 {
+		t.Fatal("second route during a probe must stay on the fallback")
+	}
+	// A canceled probe is inconclusive: stay half-open, probe again.
+	b.record(true, true, fault.Canceled(context.DeadlineExceeded))
+	if p, probe := b.route(); !p || !probe {
+		t.Fatal("after an inconclusive probe the next route must probe again")
+	}
+	// A faulted probe reopens for another full cooldown.
+	b.record(true, true, fail)
+	if p, _ := b.route(); p {
+		t.Fatal("breaker must reopen after a faulted probe")
+	}
+	advance(2 * time.Minute)
+	if p, probe := b.route(); !p || !probe {
+		t.Fatal("reopened breaker must probe again after its cooldown")
+	}
+	// A clean probe closes it.
+	b.record(true, true, nil)
+	if p, _ := b.route(); !p {
+		t.Fatal("breaker must close after a clean probe")
+	}
+	if got := b.current(); got != "closed" {
+		t.Fatalf("state = %s, want closed", got)
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	stats := &fault.Stats{}
+	c := newResultCache(100, stats)
+	mk := func(k string) *Result { return &Result{Query: k} }
+
+	c.put("a", mk("a"), 40)
+	c.put("b", mk("b"), 40)
+	if got := c.get("a"); got == nil || !got.Cached || got.Query != "a" {
+		t.Fatalf("hit on a = %+v", got)
+	}
+	// Inserting c (40) exceeds the budget; b is now the LRU and must go.
+	c.put("c", mk("c"), 40)
+	if c.get("b") != nil {
+		t.Fatal("b must have been evicted")
+	}
+	if c.get("a") == nil || c.get("c") == nil {
+		t.Fatal("a and c must survive")
+	}
+	if ev := stats.Snapshot().Evicted; ev != 1 {
+		t.Fatalf("evicted = %d, want 1", ev)
+	}
+	if c.footprint() != 80 {
+		t.Fatalf("footprint = %d, want 80", c.footprint())
+	}
+	// The stored entry must not be contaminated by the hit's Cached flag.
+	if ent := c.entries["a"].Value.(*cacheEntry); ent.res.Cached {
+		t.Fatal("stored entry mutated by get")
+	}
+	// An entry larger than the whole budget is not cached.
+	c.put("huge", mk("huge"), 101)
+	if c.get("huge") != nil {
+		t.Fatal("over-budget entry must not be cached")
+	}
+	// A disabled cache (negative budget) never stores.
+	off := newResultCache(-1, stats)
+	off.put("x", mk("x"), 1)
+	if off.get("x") != nil {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+func TestQueryParseAndKey(t *testing.T) {
+	q, err := ParseQuery(KindAnalyze, url.Values{"util": {"0.7"}, "full": {"1"}})
+	if err != nil {
+		t.Fatalf("parse analyze: %v", err)
+	}
+	if q.Key() != "analyze?util=0.7&full=1" {
+		t.Fatalf("key = %q", q.Key())
+	}
+	// Sweep overheads are canonicalized by sorting: permutations share a key.
+	q1, _ := ParseQuery(KindSweep, url.Values{"overheads": {"0.2,0.05"}})
+	q2, _ := ParseQuery(KindSweep, url.Values{"overheads": {"0.05, 0.2"}})
+	if q1.Key() != q2.Key() {
+		t.Fatalf("permuted sweeps got different keys: %q vs %q", q1.Key(), q2.Key())
+	}
+	bad := []struct {
+		kind Kind
+		vals url.Values
+	}{
+		{KindAnalyze, url.Values{"util": {"nope"}}},
+		{KindAnalyze, url.Values{"util": {"1.5"}}},
+		{KindERI, url.Values{}},
+		{KindERI, url.Values{"rows": {"-1"}}},
+		{KindHW, url.Values{"overhead": {"0"}}},
+		{KindSweep, url.Values{"overheads": {"0.1,bogus"}}},
+		{Kind("mystery"), url.Values{}},
+	}
+	for _, c := range bad {
+		if _, err := ParseQuery(c.kind, c.vals); err == nil {
+			t.Fatalf("ParseQuery(%s, %v) accepted bad input", c.kind, c.vals)
+		}
+		var hse *httpStatusError
+		if _, err := ParseQuery(c.kind, c.vals); !errors.As(err, &hse) || hse.status != http.StatusBadRequest {
+			t.Fatalf("ParseQuery(%s, %v) error not a 400: %v", c.kind, c.vals, err)
+		}
+	}
+}
+
+// testDesign generates a compact scenario and its flow config, small enough
+// that a query solves in milliseconds.
+func testDesign(t *testing.T) (*bench.Generated, flow.Config) {
+	t.Helper()
+	gen, err := bench.Scenario{Family: bench.FamilyHotspotCluster, Seed: 9, TargetCells: 800}.Generate(celllib.Default65nm())
+	if err != nil {
+		t.Fatalf("generate scenario: %v", err)
+	}
+	cfg := flow.ScenarioConfig(gen.Scenario)
+	cfg.SimCycles = 32
+	cfg.RefinePasses = 0
+	cfg.Thermal.NX, cfg.Thermal.NY = 12, 12
+	return gen, cfg
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) (int, http.Header) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding body: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	gen, cfg := testDesign(t)
+	srv := NewServer(Config{MaxInFlight: 2, MaxQueue: 2})
+	if err := srv.AddDesign(context.Background(), "d", gen.Design, gen.Workload, cfg, nil); err != nil {
+		t.Fatalf("AddDesign: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A served analyze query must be bit-identical to a direct Exec on an
+	// equivalently configured flow (JSON round-trips float64 exactly).
+	ref := flow.New(gen.Design, gen.Workload, cfg)
+	defer ref.Close()
+	want, _, err := Exec(context.Background(), ref, Query{Kind: KindAnalyze, Utilization: 0.7, Full: true})
+	if err != nil {
+		t.Fatalf("reference Exec: %v", err)
+	}
+	var got Result
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=0.7&full=1", &got); code != http.StatusOK {
+		t.Fatalf("analyze status %d, body %+v", code, got)
+	}
+	if got.PeakRiseK != want.PeakRiseK || got.TempReduction != want.TempReduction ||
+		got.TotalPowerW != want.TotalPowerW || got.AreaOverhead != want.AreaOverhead {
+		t.Fatalf("served result differs from direct Exec:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.Surface) != len(want.Surface) {
+		t.Fatalf("surface rows %d, want %d", len(got.Surface), len(want.Surface))
+	}
+	for iy := range want.Surface {
+		for ix := range want.Surface[iy] {
+			if got.Surface[iy][ix] != want.Surface[iy][ix] {
+				t.Fatalf("surface[%d][%d] = %g, want %g (bit-exact)", iy, ix, got.Surface[iy][ix], want.Surface[iy][ix])
+			}
+		}
+	}
+	if got.Degraded || got.Cached {
+		t.Fatalf("fresh primary result flagged degraded=%v cached=%v", got.Degraded, got.Cached)
+	}
+
+	// The same query again is a cache hit with identical values.
+	var hit Result
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=0.7&full=1", &hit); code != http.StatusOK {
+		t.Fatalf("cached analyze status %d", code)
+	}
+	if !hit.Cached {
+		t.Fatal("repeat query not served from cache")
+	}
+	if hit.PeakRiseK != got.PeakRiseK {
+		t.Fatalf("cache hit changed the answer: %g vs %g", hit.PeakRiseK, got.PeakRiseK)
+	}
+
+	// Delta queries: ERI with explicit rows, HW at an overhead.
+	var eri Result
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/delta?design=d&strategy=eri&rows=2", &eri); code != http.StatusOK {
+		t.Fatalf("eri status %d: %+v", code, eri)
+	}
+	if eri.Rows != 2 || eri.PeakRiseK <= 0 {
+		t.Fatalf("eri result implausible: %+v", eri)
+	}
+	var hw Result
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/delta?design=d&strategy=hw&overhead=0.25", &hw); code != http.StatusOK {
+		t.Fatalf("hw status %d: %+v", code, hw)
+	}
+
+	// A small sweep.
+	var sw Result
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/sweep?design=d&overheads=0.25", &sw); code != http.StatusOK {
+		t.Fatalf("sweep status %d: %+v", code, sw)
+	}
+	if len(sw.Points) == 0 {
+		t.Fatal("sweep returned no points")
+	}
+
+	// Error paths carry categories.
+	var eb errorBody
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=nope", &eb); code != http.StatusNotFound || eb.Category != "unknown-design" {
+		t.Fatalf("unknown design: status %d category %q", code, eb.Category)
+	}
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=zzz", &eb); code != http.StatusBadRequest || eb.Category != "bad-request" {
+		t.Fatalf("bad util: status %d category %q", code, eb.Category)
+	}
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/delta?design=d", &eb); code != http.StatusBadRequest {
+		t.Fatalf("missing strategy: status %d", code)
+	}
+
+	// Health endpoints and statz.
+	var hb map[string]string
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/healthz", &hb); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/readyz", &hb); code != http.StatusOK {
+		t.Fatalf("readyz status %d before drain", code)
+	}
+	var stz StatzResponse
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/statz", &stz); code != http.StatusOK {
+		t.Fatalf("statz status %d", code)
+	}
+	if len(stz.Designs) != 1 || stz.Designs[0].Design != "d" {
+		t.Fatalf("statz designs: %+v", stz.Designs)
+	}
+	ds := stz.Designs[0]
+	if ds.Admitted < 5 || ds.Breaker != "closed" || ds.CacheBytes <= 0 {
+		t.Fatalf("statz counters implausible: %+v", ds)
+	}
+
+	// Drain: readyz flips, queries shed, nothing accepted afterwards.
+	srv.BeginDrain()
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/readyz", &hb); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz status %d during drain", code)
+	}
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=0.7", &eb); code != http.StatusServiceUnavailable || eb.Category != ShedDraining {
+		t.Fatalf("query during drain: status %d category %q", code, eb.Category)
+	}
+	if n := srv.Drain(time.Second); n != 0 {
+		t.Fatalf("idle drain canceled %d stragglers", n)
+	}
+}
+
+func TestServerDeadlines(t *testing.T) {
+	gen, cfg := testDesign(t)
+	srv := NewServer(Config{MaxInFlight: 1, MaxQueue: 2})
+	inject := &fault.Injector{}
+	if err := srv.AddDesign(context.Background(), "d", gen.Design, gen.Workload, cfg, inject); err != nil {
+		t.Fatalf("AddDesign: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Arm after warm-up (which consumed analysis ordinal 1): the next two
+	// analyses stall until their contexts fire.
+	inject.StallAnalyzeN = 2
+
+	// Request 1 occupies the single in-flight slot, stalled until its own
+	// deadline (analysis ordinal 2).
+	type resp struct {
+		code int
+		body errorBody
+	}
+	r1 := make(chan resp, 1)
+	go func() {
+		var eb errorBody
+		code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=0.7&deadline_ms=400", &eb)
+		r1 <- resp{code, eb}
+	}()
+	// Wait until it holds the slot.
+	d := srv.design("d")
+	for d.adm.inFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request 2 queues behind it and its deadline expires in the queue: shed
+	// with 503 + Retry-After, never started (no analysis ordinal consumed).
+	var eb errorBody
+	code, hdr := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=0.72&deadline_ms=100", &eb)
+	if code != http.StatusServiceUnavailable || eb.Category != ShedDeadline {
+		t.Fatalf("queued expiry: status %d category %q", code, eb.Category)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	// Request 1 times out mid-analysis: 504 deadline.
+	got1 := <-r1
+	if got1.code != http.StatusGatewayTimeout || got1.body.Category != "deadline" {
+		t.Fatalf("stalled request: status %d category %q", got1.code, got1.body.Category)
+	}
+
+	// The slot is free again and the stall prefix is spent at ordinal 3: a
+	// normal query completes.
+	var ok Result
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=0.74", &ok); code != http.StatusOK {
+		t.Fatalf("post-timeout query: status %d", code)
+	}
+
+	snap := srv.StatsFor("d")
+	if snap.TimedOut == 0 || snap.Shed == 0 {
+		t.Fatalf("counters did not record the episode: %+v", snap)
+	}
+
+	// Injected admission failure sheds through the same client-visible path.
+	inject.FailAdmitN = 1
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=0.74", &eb); code != http.StatusServiceUnavailable || eb.Category != ShedInjected {
+		t.Fatalf("injected shed: status %d category %q", code, eb.Category)
+	}
+}
+
+func TestServerBreakerDegradation(t *testing.T) {
+	gen, cfg := testDesign(t)
+	srv := NewServer(Config{BreakerTrips: 1, BreakerCooldown: time.Hour})
+	var mu sync.Mutex
+	tm := time.Unix(0, 0)
+	srv.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return tm }
+	inject := &fault.Injector{}
+	if err := srv.AddDesign(context.Background(), "d", gen.Design, gen.Workload, cfg, inject); err != nil {
+		t.Fatalf("AddDesign: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Warm-up consumed solve ordinal 1; fail solve 2 and its retry, so the
+	// next primary query surfaces ErrNotConverged and trips the breaker.
+	inject.FailCGSolveN = 2
+	inject.FailRetry = true
+	var eb errorBody
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=0.7", &eb); code != http.StatusInternalServerError || eb.Category != "not-converged" {
+		t.Fatalf("tripping query: status %d category %q", code, eb.Category)
+	}
+
+	// Open breaker: the same query now runs on the Jacobi fallback, flagged
+	// degraded and matching a direct Exec on a Jacobi-configured flow.
+	var deg Result
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=0.7", &deg); code != http.StatusOK {
+		t.Fatalf("degraded query: status %d", code)
+	}
+	if !deg.Degraded {
+		t.Fatal("fallback result not flagged degraded")
+	}
+	jref := flow.New(gen.Design, gen.Workload, func() flow.Config {
+		c := cfg
+		c.Thermal.Precond = thermal.PrecondJacobi
+		return c
+	}())
+	defer jref.Close()
+	want, _, err := Exec(context.Background(), jref, Query{Kind: KindAnalyze, Utilization: 0.7})
+	if err != nil {
+		t.Fatalf("jacobi reference Exec: %v", err)
+	}
+	if deg.PeakRiseK != want.PeakRiseK {
+		t.Fatalf("degraded result %g != jacobi reference %g (bit-exact)", deg.PeakRiseK, want.PeakRiseK)
+	}
+	var stz StatzResponse
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/statz", &stz); code != http.StatusOK || stz.Designs[0].Breaker != "open" {
+		t.Fatalf("statz after trip: code %d breaker %q", code, stz.Designs[0].Breaker)
+	}
+	if stz.Designs[0].Degraded == 0 {
+		t.Fatal("degraded counter not incremented")
+	}
+
+	// Degraded results are not cached: once the cooldown elapses and the
+	// (now fault-free) primary probe succeeds, the same query is served by
+	// the primary again, not from a stale Jacobi entry.
+	mu.Lock()
+	tm = tm.Add(2 * time.Hour)
+	mu.Unlock()
+	var rec Result
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/analyze?design=d&util=0.7", &rec); code != http.StatusOK {
+		t.Fatalf("probe query: status %d", code)
+	}
+	if rec.Degraded || rec.Cached {
+		t.Fatalf("recovered probe served degraded=%v cached=%v", rec.Degraded, rec.Cached)
+	}
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/statz", &stz); code != http.StatusOK || stz.Designs[0].Breaker != "closed" {
+		t.Fatalf("breaker did not close after a clean probe: %q", stz.Designs[0].Breaker)
+	}
+}
