@@ -72,6 +72,11 @@ func paperFlow(b *testing.B, wl bench.Workload) *flow.Flow {
 // hotspots.
 func BenchmarkFig5_Profiles(b *testing.B) {
 	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	// This series tracks the activity->power->thermal profile pipeline
+	// across revisions; the timing/congestion co-analysis is measured
+	// separately (BenchmarkFig5_ProfilesCoAnalysis and
+	// BenchmarkFig6_CoAnalysisSweep), so it is off here.
+	f.Config.CoAnalysis = false
 	var an *flow.Analysis
 	for i := 0; i < b.N; i++ {
 		// Analyze the (cached) baseline placement directly: AnalyzeBaseline
@@ -90,6 +95,29 @@ func BenchmarkFig5_Profiles(b *testing.B) {
 	b.ReportMetric(an.Thermal.PeakRise, "peak_rise_C")
 	b.ReportMetric(float64(len(an.Hotspots)), "hotspots")
 	b.ReportMetric(an.Thermal.GradientC, "gradient_C")
+}
+
+// BenchmarkFig5_ProfilesCoAnalysis runs the same profile extraction with
+// the timing/congestion co-analysis enabled (the DefaultConfig setting),
+// making the marginal cost of the derated-timing and congestion reports
+// visible next to the plain pipeline above.
+func BenchmarkFig5_ProfilesCoAnalysis(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	var an *flow.Analysis
+	for i := 0; i < b.N; i++ {
+		p, err := f.Baseline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		an, err = f.Analyze(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(an.Thermal.PeakRise, "peak_rise_C")
+	b.ReportMetric(an.Timing.CriticalPathPs, "critical_path_ps")
+	b.ReportMetric(float64(an.Congestion.Overflows), "overflow_bins")
+	b.ReportMetric(an.HPWL, "hpwl_um")
 }
 
 // BenchmarkFig6_EfficiencySweep regenerates Figure 6: temperature reduction
@@ -154,6 +182,34 @@ func BenchmarkFig6_EfficiencySweepIncremental(b *testing.B) {
 		}
 		b.ReportMetric(p.TempReduction*100, "eri"+suffix+"_pct")
 	}
+}
+
+// BenchmarkFig6_CoAnalysisSweep is the multi-objective sweep: every point
+// carries temperature-derated timing (4%/10C cell, 5%/10C wire above the
+// solved surface field) and routing congestion alongside the thermal
+// metrics, and the Pareto front is extracted from the joint records. The
+// reported metrics pin the co-analysis outputs the smoke run watches.
+func BenchmarkFig6_CoAnalysisSweep(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	opts := core.SweepOptions{Overheads: []float64{0.16, 0.32}, Incremental: true}
+	var res *core.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.SweepEfficiency(f, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worstSlack, overflows := 0.0, 0
+	for _, p := range res.Points {
+		if p.WorstSlackPs < worstSlack {
+			worstSlack = p.WorstSlackPs
+		}
+		overflows += p.CongestionOverflows
+	}
+	b.ReportMetric(float64(len(res.ParetoFront())), "pareto_points")
+	b.ReportMetric(worstSlack, "worst_slack_ps")
+	b.ReportMetric(float64(overflows), "total_overflow_bins")
 }
 
 // BenchmarkTable1_ConcentratedHotspot regenerates Table I: Default versus

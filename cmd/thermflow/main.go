@@ -123,18 +123,26 @@ func main() {
 			h.ID, h.PeakRise, h.AreaUm2, 100*h.FracOfArea(an.Placement.FP.Core), h.Rect)
 	}
 
+	// The flow already ran temperature-derated timing and congestion as part
+	// of the co-analysis (DefaultConfig enables it); fall back to a direct
+	// call only when the analyzers were disabled or released.
 	if *withTiming {
-		topts := timing.DefaultOptions()
-		topts.TemperatureMap = an.Thermal.Surface
-		rep, err := timing.Analyze(design, an.Placement, topts)
-		if err != nil {
-			fatal(err)
+		rep := an.Timing
+		if rep == nil {
+			topts := timing.DefaultOptions()
+			topts.TemperatureMap = an.Thermal.Surface
+			if rep, err = timing.Analyze(design, an.Placement, topts); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("critical path     : %.1f ps (max %.3f GHz, slack %.1f ps at 1 GHz)\n",
 			rep.CriticalPathPs, rep.MaxFrequencyGHz, rep.SlackPs)
 	}
 	if *withCongest {
-		rep := congestion.Estimate(an.Placement, congestion.DefaultOptions())
+		rep := an.Congestion
+		if rep == nil {
+			rep = congestion.Estimate(an.Placement, congestion.DefaultOptions())
+		}
 		fmt.Printf("wirelength        : %.0f um\n", rep.TotalWirelength)
 		fmt.Printf("congestion        : mean %.3f, max %.3f, %d overflowing bins\n",
 			rep.MeanUtilization, rep.MaxUtilization, rep.Overflows)
@@ -154,9 +162,18 @@ func main() {
 		}
 		fmt.Printf("efficiency sweep  : baseline rise %.3f C, %d points\n",
 			res.Baseline.Thermal.PeakRise, len(res.Points))
-		for _, pt := range res.Points {
-			fmt.Printf("  %-8s overhead %5.1f%%  reduction %5.1f%%  rise %.3f C\n",
-				pt.Strategy, pt.AreaOverhead*100, pt.TempReduction*100, pt.PeakRise)
+		pareto := map[int]bool{}
+		for _, idx := range res.ParetoFront() {
+			pareto[idx] = true
+		}
+		for i, pt := range res.Points {
+			mark := " "
+			if pareto[i] {
+				mark = "*" // on the multi-objective Pareto front
+			}
+			fmt.Printf("  %s %-8s overhead %5.1f%%  reduction %5.1f%%  rise %.3f C  slack %7.1f ps  hpwl %.0f um  overflow %d\n",
+				mark, pt.Strategy, pt.AreaOverhead*100, pt.TempReduction*100, pt.PeakRise,
+				pt.WorstSlackPs, pt.HPWL, pt.CongestionOverflows)
 		}
 	}
 

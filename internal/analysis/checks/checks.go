@@ -45,12 +45,16 @@ func All() []*analysis.Analyzer {
 // path matches — which covers both the real tree (thermplace/internal/…)
 // and the analyzers' testdata packages.
 var corePackages = map[string]bool{
-	"sparse":  true,
-	"thermal": true,
-	"place":   true,
-	"power":   true,
-	"core":    true,
-	"flow":    true,
+	"sparse":     true,
+	"thermal":    true,
+	"place":      true,
+	"power":      true,
+	"core":       true,
+	"flow":       true,
+	"timing":     true,
+	"congestion": true,
+	"hotspot":    true,
+	"logicsim":   true,
 }
 
 func inCorePackage(path string) bool {

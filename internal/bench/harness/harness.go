@@ -20,11 +20,15 @@ import (
 
 	"thermplace/internal/bench"
 	"thermplace/internal/celllib"
+	"thermplace/internal/congestion"
 	"thermplace/internal/core"
 	"thermplace/internal/flow"
 	"thermplace/internal/geom"
+	"thermplace/internal/hotspot"
 	"thermplace/internal/netlist"
+	"thermplace/internal/place"
 	"thermplace/internal/thermal"
+	"thermplace/internal/timing"
 )
 
 // Options tunes how deep the harness drives the flow for one scenario.
@@ -64,6 +68,12 @@ type Options struct {
 	// the site grid before the legality check. Like InjectThermalBiasC it
 	// exists to prove the harness catches a broken placer.
 	CorruptPlacement bool
+	// CorruptTimingDelta, when true, deliberately moves one cell of the ERI
+	// placement after its delta was recorded, so the incremental timing
+	// update works from an under-reported delta. Like the knobs above it
+	// exists to prove the timing-incremental-equality check cannot silently
+	// pass: Run must fail when the delta contract is broken.
+	CorruptTimingDelta bool
 }
 
 func (o Options) normalized() Options {
@@ -266,6 +276,10 @@ func Run(sc bench.Scenario, opts Options) (*Report, error) {
 		}
 	}
 
+	if err := coAnalysisChecks(rep, gen, base, opts); err != nil {
+		return rep, err
+	}
+
 	skipSweepChecks := func(why string) {
 		rep.skipped("sweep-workers-equality", why)
 		rep.skipped("sweep-incremental-equality", why)
@@ -343,6 +357,161 @@ func Run(sc bench.Scenario, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// coAnalysisChecks verifies the metamorphic properties of the thermal-aware
+// timing and congestion co-analysis on the baseline:
+//
+//   - timing-temperature-monotonicity: uniformly heating the solved surface
+//     can only slow the design, so the derated critical path is
+//     non-decreasing in temperature;
+//   - eri-congestion-hotspot: empty-row insertion spreads the hotspot cells
+//     apart, so it must not increase the congestion overflow count in the
+//     hotspot region (mapped through the vertical stretch);
+//   - timing-incremental-equality: Analyzer.Update through the ERI delta is
+//     bit-identical (== on every float) to a from-scratch analysis of the
+//     same placement under the same options.
+func coAnalysisChecks(rep *Report, gen *bench.Generated, base *flow.Analysis, opts Options) error {
+	ta, err := timing.NewAnalyzer(gen.Design)
+	if err != nil {
+		return fmt.Errorf("harness: %s: timing analyzer: %w", gen.Scenario, err)
+	}
+	topts := timing.DefaultOptions()
+	topts.TemperatureMap = base.Thermal.Surface
+	prev := ta.Analyze(base.Placement, topts)
+
+	// Property: derated critical path is monotone non-decreasing in
+	// temperature.
+	cp := prev.CriticalPathPs
+	for _, bias := range []float64{15, 30} {
+		hot := base.Thermal.Surface.Clone()
+		for i, v := range hot.Values() {
+			hot.Values()[i] = v + bias
+		}
+		hopts := topts
+		hopts.TemperatureMap = hot
+		hr := ta.Analyze(base.Placement, hopts)
+		if hr.CriticalPathPs < cp {
+			return fmt.Errorf("harness: %s: derated critical path fell from %.6f ps to %.6f ps under +%g C",
+				gen.Scenario, cp, hr.CriticalPathPs, bias)
+		}
+		cp = hr.CriticalPathPs
+	}
+	rep.pass("timing-temperature-monotonicity",
+		fmt.Sprintf("critical path %.1f ps grows to %.1f ps at +30 C", prev.CriticalPathPs, cp))
+
+	if len(base.Hotspots) == 0 {
+		rep.skipped("eri-congestion-hotspot", "baseline has no hotspots")
+		rep.skipped("timing-incremental-equality", "baseline has no hotspots")
+		return nil
+	}
+	const eriRows = 4
+	eriP, eriDelta, err := core.EmptyRowInsertionDelta(base.Placement, base.Hotspots, core.DefaultERIOptions(eriRows))
+	if err != nil {
+		return fmt.Errorf("harness: %s: eri for co-analysis checks: %w", gen.Scenario, err)
+	}
+
+	// Property: ERI must not increase the overflow count in the hotspot
+	// region. The region is mapped through the vertical stretch: cells that
+	// started inside it end no higher than the inserted height above it.
+	region := hotspot.MergedRect(base.Hotspots)
+	mapped := region
+	mapped.Yhi += float64(eriRows) * base.Placement.FP.RowHeight
+	baseCong := congestion.Estimate(base.Placement, congestion.Options{})
+	eriCong := congestion.Estimate(eriP, congestion.Options{})
+	before, after := baseCong.RegionOverflows(region), eriCong.RegionOverflows(mapped)
+	if after > before {
+		return fmt.Errorf("harness: %s: ERI raised hotspot-region overflow bins from %d to %d",
+			gen.Scenario, before, after)
+	}
+	rep.pass("eri-congestion-hotspot", fmt.Sprintf("hotspot overflow bins %d -> %d", before, after))
+
+	// Negative injection (testing the harness itself): one extra move the
+	// delta never recorded — the equality check below must catch it.
+	if opts.CorruptTimingDelta {
+		if err := corruptDelta(gen.Design, eriP, eriDelta, prev); err != nil {
+			return fmt.Errorf("harness: %s: %w", gen.Scenario, err)
+		}
+	}
+
+	// Property: the incremental update through the ERI delta is
+	// bit-identical to analyzing the stretched placement from scratch.
+	full := ta.Analyze(eriP, topts)
+	inc := ta.Update(prev, eriP, eriDelta, topts)
+	if err := timingReportsEqual(full, inc); err != nil {
+		return fmt.Errorf("harness: %s: timing incremental vs from-scratch: %w", gen.Scenario, err)
+	}
+	rep.pass("timing-incremental-equality",
+		fmt.Sprintf("%d arrivals bit-identical through %d dirty nets", len(full.ArrivalPs), len(eriDelta.DirtyNets())))
+	return nil
+}
+
+// corruptDelta moves one cell the delta does not cover: a non-filler driver
+// of a reached, fan-out net none of whose ordinals are in the delta's dirty
+// set, displaced by half the core width.
+func corruptDelta(d *netlist.Design, p *place.Placement, delta *place.Delta, prev *timing.Report) error {
+	dirty := map[int32]bool{}
+	for _, o := range delta.DirtyNets() {
+		dirty[o] = true
+	}
+	for _, n := range d.Nets() {
+		if dirty[int32(n.Ord())] || n.Driver.Inst == nil || n.Driver.Inst.IsFiller() ||
+			len(n.Loads) == 0 || prev.ArrivalPs[n.Name] <= 0 {
+			continue
+		}
+		inst := n.Driver.Inst
+		clean := true
+		for _, cn := range inst.Conns() {
+			if cn != nil && dirty[int32(cn.Ord())] {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		l, ok := p.Loc(inst)
+		if !ok {
+			continue
+		}
+		if l.X > p.FP.Core.Center().X {
+			l.X -= p.FP.Core.W() / 2
+		} else {
+			l.X += p.FP.Core.W() / 2
+		}
+		p.SetLoc(inst, l)
+		return nil
+	}
+	return fmt.Errorf("corrupt timing delta: no movable cell outside the delta's dirty cone")
+}
+
+// timingReportsEqual requires exactly identical timing reports: == on every
+// float, every arrival entry, every critical-path step.
+func timingReportsEqual(full, inc *timing.Report) error {
+	if full.CriticalPathPs != inc.CriticalPathPs || full.SlackPs != inc.SlackPs ||
+		full.MaxFrequencyGHz != inc.MaxFrequencyGHz || full.Endpoints != inc.Endpoints {
+		return fmt.Errorf("summary differs: full {cp %v slack %v fmax %v ep %d} vs inc {cp %v slack %v fmax %v ep %d}",
+			full.CriticalPathPs, full.SlackPs, full.MaxFrequencyGHz, full.Endpoints,
+			inc.CriticalPathPs, inc.SlackPs, inc.MaxFrequencyGHz, inc.Endpoints)
+	}
+	if len(full.ArrivalPs) != len(inc.ArrivalPs) {
+		return fmt.Errorf("arrival count differs: %d vs %d", len(full.ArrivalPs), len(inc.ArrivalPs))
+	}
+	for name, at := range full.ArrivalPs {
+		if iat, ok := inc.ArrivalPs[name]; !ok || iat != at {
+			return fmt.Errorf("arrival at %q differs: %v vs %v", name, at, iat)
+		}
+	}
+	if len(full.CriticalPath) != len(inc.CriticalPath) {
+		return fmt.Errorf("critical path length differs: %d vs %d", len(full.CriticalPath), len(inc.CriticalPath))
+	}
+	for i, s := range full.CriticalPath {
+		c := inc.CriticalPath[i]
+		if s.Inst != c.Inst || s.Net != c.Net || s.DelayPs != c.DelayPs || s.ArrivalPs != c.ArrivalPs {
+			return fmt.Errorf("critical path step %d differs", i)
+		}
+	}
+	return nil
+}
+
 // compareSweeps requires exactly identical sweep output: same point
 // identities in the same order and bit-identical floats.
 func compareSweeps(seq, con *core.SweepResult) error {
@@ -360,6 +529,11 @@ func compareSweeps(seq, con *core.SweepResult) error {
 		if s.PeakRise != c.PeakRise || s.TempReduction != c.TempReduction ||
 			s.AreaOverhead != c.AreaOverhead || s.Utilization != c.Utilization {
 			return fmt.Errorf("point %d (%s) differs:\n  seq %+v\n  con %+v", i, s.Strategy, s, c)
+		}
+		if s.CriticalPathPs != c.CriticalPathPs || s.WorstSlackPs != c.WorstSlackPs ||
+			s.HPWL != c.HPWL || s.CongestionOverflows != c.CongestionOverflows ||
+			s.CongestionMaxUtil != c.CongestionMaxUtil {
+			return fmt.Errorf("point %d (%s) co-analysis metrics differ:\n  seq %+v\n  con %+v", i, s.Strategy, s, c)
 		}
 	}
 	return nil

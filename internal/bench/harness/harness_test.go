@@ -113,6 +113,20 @@ func TestHarnessFailsOnCorruptedSolver(t *testing.T) {
 	}
 }
 
+// TestHarnessFailsOnCorruptedTimingDelta proves the incremental-timing
+// equality check bites: a cell moved after the ERI delta was recorded (so
+// the delta under-reports the dirty cone) must fail the run.
+func TestHarnessFailsOnCorruptedTimingDelta(t *testing.T) {
+	sc := bench.Scenario{Family: bench.FamilyHotspotCluster, Seed: 9, TargetCells: 1200}
+	_, err := Run(sc, Options{CorruptTimingDelta: true, SkipSweep: true, SkipDeterminism: true})
+	if err == nil {
+		t.Fatal("harness passed with an under-reported timing delta")
+	}
+	if !strings.Contains(err.Error(), "timing incremental") {
+		t.Fatalf("corrupted timing delta tripped the wrong check: %v", err)
+	}
+}
+
 // TestHarnessFailsOnCorruptedPlacement proves the legality check bites: a
 // cell knocked off the site grid must fail the run.
 func TestHarnessFailsOnCorruptedPlacement(t *testing.T) {

@@ -37,8 +37,9 @@ type LoadChaosOptions struct {
 	// mean 2 / 2 — deliberately tight, so the storm actually sheds.
 	MaxInFlight int
 	MaxQueue    int
-	// CacheBytes is the per-design solved-state budget. Zero means 128 KiB —
-	// small enough that the query set forces evictions.
+	// CacheBytes is the per-design solved-state budget. Zero means 512 KiB —
+	// room for about two solved analyses now that each carries its timing
+	// and congestion reports, so the query set still forces evictions.
 	CacheBytes int64
 	// DeadlineMS is the per-query deadline the clients send. Zero means 1500.
 	DeadlineMS int
@@ -73,7 +74,7 @@ func (o LoadChaosOptions) normalized() LoadChaosOptions {
 		o.MaxQueue = 2
 	}
 	if o.CacheBytes == 0 {
-		o.CacheBytes = 128 << 10
+		o.CacheBytes = 512 << 10
 	}
 	if o.DeadlineMS == 0 {
 		o.DeadlineMS = 1500

@@ -80,6 +80,9 @@ func Estimate(p *place.Placement, opts Options) *Report {
 		VDemand: geom.NewGrid(opts.NX, opts.NY, core),
 	}
 
+	// Degenerate boxes still occupy one bin line; give them a minimal
+	// extent so the spreading below works.
+	minExt := math.Min(core.W(), core.H()) / float64(opts.NX) / 4
 	for _, net := range p.Design.Nets() {
 		bbox := p.NetBBox(net)
 		if bbox.Empty() && bbox.W() == 0 && bbox.H() == 0 {
@@ -87,10 +90,7 @@ func Estimate(p *place.Placement, opts Options) *Report {
 			continue
 		}
 		rep.TotalWirelength += bbox.HalfPerimeter()
-		// Degenerate boxes still occupy one bin line; give them a minimal
-		// extent so the spreading below works.
 		spread := bbox
-		minExt := math.Min(core.W(), core.H()) / float64(opts.NX) / 4
 		if spread.W() < minExt {
 			spread.Xhi = spread.Xlo + minExt
 		}
@@ -98,9 +98,8 @@ func Estimate(p *place.Placement, opts Options) *Report {
 			spread.Yhi = spread.Ylo + minExt
 		}
 		// Horizontal wire of length bbox.W spread over the box; vertical
-		// wire of length bbox.H likewise.
-		rep.HDemand.SpreadRect(spread, bbox.W())
-		rep.VDemand.SpreadRect(spread, bbox.H())
+		// wire of length bbox.H likewise, decomposed into bins once.
+		geom.SpreadRectPair(rep.HDemand, rep.VDemand, spread, bbox.W(), bbox.H())
 	}
 
 	// Capacity per bin: tracks * bin extent in the routing direction.
@@ -126,6 +125,34 @@ func Estimate(p *place.Placement, opts Options) *Report {
 	rep.MaxUtilization, _, _ = rep.Utilization.Max()
 	rep.MeanUtilization = rep.Utilization.Mean()
 	return rep
+}
+
+// MemoryBytes coarsely estimates the retained size of the report's grids.
+// It feeds flow.Analysis.MemoryBytes, the accounting unit of the query
+// server's result cache.
+func (r *Report) MemoryBytes() int64 {
+	n := int64(0)
+	for _, g := range []*geom.Grid{r.HDemand, r.VDemand, r.HUtil, r.VUtil, r.Utilization} {
+		if g != nil {
+			n += 8 * int64(len(g.Values()))
+		}
+	}
+	return n
+}
+
+// RegionOverflows counts the overflowing bins (utilization > 1) among the
+// bins overlapping the given region; used to check that empty-row insertion
+// does not worsen congestion inside the hotspot region it targets.
+func (r *Report) RegionOverflows(region geom.Rect) int {
+	n := 0
+	for iy := 0; iy < r.Utilization.NY; iy++ {
+		for ix := 0; ix < r.Utilization.NX; ix++ {
+			if r.Utilization.At(ix, iy) > 1 && r.Utilization.CellRect(ix, iy).Intersects(region) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // RegionUtilization returns the mean congestion utilization of the bins

@@ -31,6 +31,18 @@ type EfficiencyPoint struct {
 	Rows int
 	// Utilization is the placement utilization of this point.
 	Utilization float64
+
+	// CriticalPathPs is the temperature-derated critical path of the point
+	// in picoseconds, and WorstSlackPs the slack against the flow's clock
+	// period (both zero when flow.Config.CoAnalysis is off).
+	CriticalPathPs float64
+	WorstSlackPs   float64
+	// HPWL is the total half-perimeter wirelength of the point in um.
+	HPWL float64
+	// CongestionOverflows counts the routing bins whose estimated
+	// utilization exceeds 1; CongestionMaxUtil is the worst bin.
+	CongestionOverflows int
+	CongestionMaxUtil   float64
 	// Analysis carries the full measurement for further inspection (may be
 	// nil when KeepAnalyses is false).
 	Analysis *flow.Analysis
@@ -99,6 +111,64 @@ type SweepResult struct {
 	// Points are the measured efficiency points, grouped by strategy in the
 	// order Default, ERI, HW, each sorted by increasing area overhead.
 	Points []EfficiencyPoint
+}
+
+// coMetrics copies the co-analysis scalars of an analysis into the point
+// (zeros when the flow ran without Config.CoAnalysis). This runs before the
+// sweep releases the analysis' heavy state, so the point records survive
+// ReleaseHeavy.
+func (pt *EfficiencyPoint) coMetrics(an *flow.Analysis) *EfficiencyPoint {
+	pt.HPWL = an.HPWL
+	if an.Timing != nil {
+		pt.CriticalPathPs = an.Timing.CriticalPathPs
+		pt.WorstSlackPs = an.Timing.SlackPs
+	}
+	if an.Congestion != nil {
+		pt.CongestionOverflows = an.Congestion.Overflows
+		pt.CongestionMaxUtil = an.Congestion.MaxUtilization
+	}
+	return pt
+}
+
+// ParetoFront returns the indices into Points of the multi-objective Pareto
+// front: the points no other point weakly dominates under joint
+// minimization of area overhead, peak temperature rise, critical-path
+// delay, wirelength and congestion overflow. A point dominates another when
+// it is no worse in every objective and strictly better in at least one;
+// ties (identical vectors) stay on the front. The result depends only on
+// the point values and their deterministic order, so it is bit-identical
+// across worker counts like the points themselves.
+func (r *SweepResult) ParetoFront() []int {
+	objectives := func(p *EfficiencyPoint) [5]float64 {
+		return [5]float64{p.AreaOverhead, p.PeakRise, p.CriticalPathPs, p.HPWL, float64(p.CongestionOverflows)}
+	}
+	dominates := func(a, b [5]float64) bool {
+		strict := false
+		for k := range a {
+			if a[k] > b[k] {
+				return false
+			}
+			if a[k] < b[k] {
+				strict = true
+			}
+		}
+		return strict
+	}
+	var front []int
+	for i := range r.Points {
+		oi := objectives(&r.Points[i])
+		dominated := false
+		for j := range r.Points {
+			if j != i && dominates(objectives(&r.Points[j]), oi) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
 }
 
 // PointsFor returns the points of one strategy in sweep order.
@@ -261,13 +331,13 @@ func SweepEfficiencyCtx(ctx context.Context, f *flow.Flow, opts SweepOptions) (*
 					return provenance(fmt.Errorf("core: default point %+v: %w", ov, err), StrategyDefault, i)
 				}
 				if wantDefault {
-					defaults[i] = keep(&EfficiencyPoint{
+					defaults[i] = keep((&EfficiencyPoint{
 						Strategy:      StrategyDefault,
 						AreaOverhead:  an.Placement.FP.CoreArea()/baseArea - 1,
 						TempReduction: reduction(baseRise, an.Thermal.PeakRise),
 						PeakRise:      an.Thermal.PeakRise,
 						Utilization:   util,
-					}, an, p)
+					}).coMetrics(an), an, p)
 				}
 				if !wantHW {
 					return nil
@@ -314,13 +384,13 @@ func SweepEfficiencyCtx(ctx context.Context, f *flow.Flow, opts SweepOptions) (*
 				if err != nil {
 					return provenance(fmt.Errorf("core: HW at overhead %.2f: %w", ov, err), StrategyHW, i)
 				}
-				hws[i] = keep(&EfficiencyPoint{
+				hws[i] = keep((&EfficiencyPoint{
 					Strategy:      StrategyHW,
 					AreaOverhead:  han.Placement.FP.CoreArea()/baseArea - 1,
 					TempReduction: reduction(baseRise, han.Thermal.PeakRise),
 					PeakRise:      han.Thermal.PeakRise,
 					Utilization:   baseUtil / (han.Placement.FP.CoreArea() / baseArea),
-				}, han, hp)
+				}).coMetrics(han), han, hp)
 				return nil
 			})
 		}
@@ -348,14 +418,14 @@ func SweepEfficiencyCtx(ctx context.Context, f *flow.Flow, opts SweepOptions) (*
 			if err != nil {
 				return provenance(fmt.Errorf("core: ERI %d rows: %w", rows, err), StrategyERI, j)
 			}
-			eris[j] = keep(&EfficiencyPoint{
+			eris[j] = keep((&EfficiencyPoint{
 				Strategy:      StrategyERI,
 				AreaOverhead:  an.Placement.FP.CoreArea()/baseArea - 1,
 				TempReduction: reduction(baseRise, an.Thermal.PeakRise),
 				PeakRise:      an.Thermal.PeakRise,
 				Rows:          rows,
 				Utilization:   baseUtil / (an.Placement.FP.CoreArea() / baseArea),
-			}, an, p)
+			}).coMetrics(an), an, p)
 			return nil
 		})
 	}

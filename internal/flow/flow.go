@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"thermplace/internal/bench"
+	"thermplace/internal/congestion"
 	"thermplace/internal/fault"
 	"thermplace/internal/floorplan"
 	"thermplace/internal/geom"
@@ -24,6 +25,7 @@ import (
 	"thermplace/internal/place"
 	"thermplace/internal/power"
 	"thermplace/internal/thermal"
+	"thermplace/internal/timing"
 )
 
 // Config collects every knob of the analysis pipeline.
@@ -58,6 +60,24 @@ type Config struct {
 	// positive gate trade the bit-identity guarantee for skipped solves.
 	// Zero (the default) never skips.
 	PowerDeltaGateW float64
+
+	// CoAnalysis extends every analysis with the cross-domain byproducts
+	// the paper's claims are stated in: a static timing analysis derated
+	// with the solved temperature field, a probabilistic routing-congestion
+	// estimate and the total wirelength (Analysis.Timing, .Congestion,
+	// .HPWL). DefaultConfig enables it; the zero Config leaves it off.
+	CoAnalysis bool
+	// Timing configures the co-analysis STA. The zero value derives
+	// everything from the flow: timing.DefaultOptions derates (4%/10C cell,
+	// 5%/10C wire at a 25 C nominal), the clock period from ClockHz, and
+	// the temperature map from each analysis' own solved surface field. A
+	// non-zero value is used verbatim, except that a zero ClockPeriodPs is
+	// still derived from ClockHz and a nil TemperatureMap still tracks the
+	// solved field.
+	Timing timing.Options
+	// Congestion configures the co-analysis congestion estimate; zero
+	// fields select congestion.DefaultOptions values.
+	Congestion congestion.Options
 }
 
 // DefaultConfig returns the configuration used by the paper-scale
@@ -77,6 +97,7 @@ func DefaultConfig() Config {
 		RefinePasses:   1,
 		Thermal:        tcfg,
 		HotspotOptions: hotspot.DefaultOptions(),
+		CoAnalysis:     true,
 	}
 }
 
@@ -157,6 +178,13 @@ type Flow struct {
 	seed      []float64
 	seedID    uint64
 
+	// ta is the cached timing analyzer of the design (levelized graph and
+	// endpoint set, placement-independent), built on the first co-analysis;
+	// taErr pins a failed construction so a broken netlist is not re-walked
+	// per analysis.
+	ta    *timing.Analyzer
+	taErr error
+
 	// stateSeq tags solved temperature fields; gateSkips counts thermal
 	// solves skipped by the power-delta gate.
 	stateSeq  atomic.Uint64
@@ -189,10 +217,17 @@ type analysisKey struct {
 	clock float64
 	hs    hotspot.Options
 	gate  float64
+	co    bool
+	topts timing.Options
+	copts congestion.Options
 }
 
 func (f *Flow) analysisKey() analysisKey {
-	return analysisKey{pk: f.placementKey(), clock: f.Config.ClockHz, hs: f.Config.HotspotOptions, gate: f.Config.PowerDeltaGateW}
+	return analysisKey{
+		pk: f.placementKey(), clock: f.Config.ClockHz, hs: f.Config.HotspotOptions,
+		gate: f.Config.PowerDeltaGateW, co: f.Config.CoAnalysis,
+		topts: f.Config.Timing, copts: f.Config.Congestion,
+	}
 }
 
 // New creates a flow for the design under the given workload.
@@ -436,6 +471,18 @@ type Analysis struct {
 	// Hotspots are the detected hot regions, hottest first.
 	Hotspots []hotspot.Hotspot
 
+	// Timing is the static timing report of the placement, derated with the
+	// solved temperature field (hot cells slow down). Nil when
+	// Config.CoAnalysis is off or ReleaseHeavy dropped it.
+	Timing *timing.Report
+	// Congestion is the probabilistic routing-congestion estimate of the
+	// placement. Nil when Config.CoAnalysis is off or ReleaseHeavy dropped
+	// it.
+	Congestion *congestion.Report
+	// HPWL is the total half-perimeter wirelength of the placement in um
+	// (zero when Config.CoAnalysis is off).
+	HPWL float64
+
 	// state is the full solved temperature field (solver node order,
 	// including the layers SurfaceOnly omits from Thermal), the warm-start
 	// seed a lineage child's solve starts from; stateID identifies it for
@@ -471,6 +518,12 @@ func (a *Analysis) MemoryBytes() int64 {
 	}
 	if a.Power != nil {
 		n += a.Power.MemoryBytes()
+	}
+	if a.Timing != nil {
+		n += a.Timing.MemoryBytes()
+	}
+	if a.Congestion != nil {
+		n += a.Congestion.MemoryBytes()
 	}
 	n += int64(len(a.Hotspots)) * 128 // rect + cells bookkeeping, coarse
 	return n
@@ -572,7 +625,7 @@ func (f *Flow) AnalyzeWithCtx(ctx context.Context, p *place.Placement, opts Anal
 		// The power profile barely moved on the same grid geometry: the
 		// parent's thermal field is (within the gate) this point's field.
 		f.gateSkips.Add(1)
-		return &Analysis{
+		an := &Analysis{
 			Placement: p,
 			Power:     rep,
 			PowerMap:  pm,
@@ -580,7 +633,14 @@ func (f *Flow) AnalyzeWithCtx(ctx context.Context, p *place.Placement, opts Anal
 			Hotspots:  par.Hotspots,
 			state:     par.state,
 			stateID:   par.stateID,
-		}, nil
+		}
+		// The shared thermal field means the child derates against the very
+		// grid the parent's timing was computed on, which is what lets the
+		// co-analysis take the incremental dirty-cone path below.
+		if err := f.coAnalyze(an, opts); err != nil {
+			return nil, err
+		}
+		return an, nil
 	}
 
 	var seed *lineageSeed
@@ -592,7 +652,7 @@ func (f *Flow) AnalyzeWithCtx(ctx context.Context, p *place.Placement, opts Anal
 		return nil, fmt.Errorf("flow: thermal simulation: %w", err)
 	}
 	spots := hotspot.Detect(tres.RiseMap(), f.Config.HotspotOptions)
-	return &Analysis{
+	an := &Analysis{
 		Placement: p,
 		Power:     rep,
 		PowerMap:  pm,
@@ -600,7 +660,73 @@ func (f *Flow) AnalyzeWithCtx(ctx context.Context, p *place.Placement, opts Anal
 		Hotspots:  spots,
 		state:     state,
 		stateID:   stateID,
-	}, nil
+	}
+	if err := f.coAnalyze(an, opts); err != nil {
+		return nil, err
+	}
+	return an, nil
+}
+
+// timingAnalyzer returns the cached timing graph of the design, building it
+// on first use.
+func (f *Flow) timingAnalyzer() (*timing.Analyzer, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.ta == nil && f.taErr == nil {
+		f.ta, f.taErr = timing.NewAnalyzer(f.Design)
+	}
+	return f.ta, f.taErr
+}
+
+// timingOptions resolves Config.Timing for one analysis: a zero value means
+// timing.DefaultOptions with the clock period derived from ClockHz, and a
+// nil TemperatureMap tracks the analysis' own solved surface field. The
+// surface is passed by pointer, so a gate-skipped child (which shares its
+// parent's thermal result) resolves to options equal to its parent's — the
+// precondition for the incremental timing path.
+func (f *Flow) timingOptions(tres *thermal.Result) timing.Options {
+	topts := f.Config.Timing
+	if topts == (timing.Options{}) {
+		topts = timing.DefaultOptions()
+		topts.ClockPeriodPs = 0
+	}
+	if topts.ClockPeriodPs == 0 {
+		if f.Config.ClockHz > 0 {
+			topts.ClockPeriodPs = 1e12 / f.Config.ClockHz
+		} else {
+			topts.ClockPeriodPs = timing.DefaultOptions().ClockPeriodPs
+		}
+	}
+	if topts.TemperatureMap == nil && tres != nil {
+		topts.TemperatureMap = tres.Surface
+	}
+	return topts
+}
+
+// coAnalyze fills the analysis' timing, congestion and wirelength fields
+// (Config.CoAnalysis). Timing takes the incremental dirty-cone path when the
+// lineage parent carries a report computed under identical options —
+// in practice the gate-skip case, where parent and child share the
+// temperature field; everywhere else timing.Analyzer.Update falls back to
+// the full propagation, which is bit-identical to a from-scratch
+// timing.Analyze by construction (same cached graph, same operation order).
+func (f *Flow) coAnalyze(an *Analysis, opts AnalyzeOptions) error {
+	if !f.Config.CoAnalysis {
+		return nil
+	}
+	ta, err := f.timingAnalyzer()
+	if err != nil {
+		return fmt.Errorf("flow: timing analysis: %w", err)
+	}
+	topts := f.timingOptions(an.Thermal)
+	if par := opts.Parent; par != nil && opts.Delta != nil && par.Timing != nil {
+		an.Timing = ta.Update(par.Timing, an.Placement, opts.Delta, topts)
+	} else {
+		an.Timing = ta.Analyze(an.Placement, topts)
+	}
+	an.Congestion = congestion.Estimate(an.Placement, f.Config.Congestion)
+	an.HPWL = an.Placement.TotalHPWL()
+	return nil
 }
 
 // estimator returns the cached power estimator for the flow's activity and
@@ -691,16 +817,21 @@ func (f *Flow) AnalyzeBaselineCtx(ctx context.Context) (*Analysis, error) {
 	return an, nil
 }
 
-// ReleaseHeavy drops the analysis' thermal result and power map, keeping
-// exactly what a lineage child needs: the placement, the power report, the
-// detected hotspots and the solved-field seed. The sweep calls it on
-// Default-point analyses it will not retain, so an in-flight task does not
-// pin multi-layer grids through the HW pass. Do not call it when the
-// analysis feeds a gated child (Config.PowerDeltaGateW > 0): the gate
-// compares against the parent's power map and reuses its thermal result.
+// ReleaseHeavy drops the analysis' thermal result, power map and
+// co-analysis reports, keeping exactly what a lineage child needs: the
+// placement, the power report, the detected hotspots and the solved-field
+// seed. The sweep calls it on Default-point analyses it will not retain
+// (after copying the point's scalar metrics), so an in-flight task does not
+// pin multi-layer grids or per-net timing state through the HW pass. Do not
+// call it when the analysis feeds a gated child (Config.PowerDeltaGateW >
+// 0): the gate compares against the parent's power map and reuses its
+// thermal result, and the child's timing update starts from the parent's
+// report.
 func (an *Analysis) ReleaseHeavy() {
 	an.Thermal = nil
 	an.PowerMap = nil
+	an.Timing = nil
+	an.Congestion = nil
 }
 
 // ReflowAt derives the placement at the given utilization from the cached

@@ -194,3 +194,89 @@ func TestPowerDeltaGateSkipsSolves(t *testing.T) {
 		t.Fatal("gated analysis changed the peak rise")
 	}
 }
+
+// TestCoAnalysisPopulatedAndIncremental verifies the co-analysis contract:
+// every analysis under DefaultConfig carries a temperature-derated timing
+// report, a congestion report and the HPWL — and on the gate-skip path
+// (where the child shares the parent's thermal field, so the timing options
+// resolve identically) the incremental dirty-cone update is bit-identical
+// to a from-scratch analysis of the same placement.
+func TestCoAnalysisPopulatedAndIncremental(t *testing.T) {
+	f := smallFlow(t)
+	defer f.Close()
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Timing == nil || base.Congestion == nil {
+		t.Fatal("co-analysis reports must be populated under DefaultConfig-derived configs")
+	}
+	if base.Timing.CriticalPathPs <= 0 || base.HPWL <= 0 {
+		t.Fatalf("degenerate co-analysis: critical path %v ps, HPWL %v", base.Timing.CriticalPathPs, base.HPWL)
+	}
+	if base.Timing.SlackPs == 0 {
+		t.Fatal("slack must be wired from the config clock")
+	}
+
+	// Force the gate open so the child shares the parent's thermal result,
+	// then move a handful of cells through a recorded delta.
+	f.Config.PowerDeltaGateW = 1e9
+	twin := base.Placement.Clone()
+	twin.BeginDelta()
+	moved := 0
+	for _, inst := range f.Design.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		l, ok := twin.Loc(inst)
+		if !ok {
+			continue
+		}
+		if l.X+8*twin.FP.SiteWidth < twin.FP.Core.Xhi-inst.Master.Width {
+			l.X += 8 * twin.FP.SiteWidth
+		} else {
+			l.X -= 8 * twin.FP.SiteWidth
+		}
+		twin.SetLoc(inst, l)
+		if moved++; moved == 12 {
+			break
+		}
+	}
+	delta := twin.EndDelta()
+	gated, err := f.AnalyzeWith(twin, AnalyzeOptions{Parent: base, Delta: delta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.Thermal != base.Thermal {
+		t.Fatal("gate open: child must share the parent's thermal result")
+	}
+	if gated.Timing == base.Timing {
+		t.Fatal("moved cells must produce a fresh timing report")
+	}
+
+	// From-scratch reference under the exact options the flow resolved.
+	ta, err := f.timingAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := ta.Analyze(twin, f.timingOptions(base.Thermal))
+	if full.CriticalPathPs != gated.Timing.CriticalPathPs || full.SlackPs != gated.Timing.SlackPs {
+		t.Fatalf("incremental timing differs: full cp %v slack %v vs inc cp %v slack %v",
+			full.CriticalPathPs, full.SlackPs, gated.Timing.CriticalPathPs, gated.Timing.SlackPs)
+	}
+	if len(full.ArrivalPs) != len(gated.Timing.ArrivalPs) {
+		t.Fatalf("arrival count differs: %d vs %d", len(full.ArrivalPs), len(gated.Timing.ArrivalPs))
+	}
+	changed := 0
+	for name, at := range full.ArrivalPs {
+		if iat, ok := gated.Timing.ArrivalPs[name]; !ok || iat != at {
+			t.Fatalf("arrival at %q differs: full %v vs inc %v", name, at, iat)
+		}
+		if at != base.Timing.ArrivalPs[name] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("moves changed no arrival time; the incremental path was not exercised")
+	}
+}

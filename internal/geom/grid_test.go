@@ -238,3 +238,47 @@ func TestResampleMeanProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSpreadRectPairMatchesTwoCalls(t *testing.T) {
+	// Irregular region and resolutions so cell boundaries are not round
+	// numbers; the pair call hoists the per-bin division, so it must agree
+	// with two independent SpreadRect calls to within one rounding.
+	region := Rect{1.3, -2.7, 97.1, 55.9}
+	rects := []Rect{
+		{5, 5, 80, 50},          // wide, many cells
+		{10.01, 3.3, 10.02, 40}, // sliver column
+		{-50, -50, 3, 1},        // partially outside
+		{200, 200, 210, 210},    // fully outside
+		{12, 12, 12, 12},        // degenerate point
+	}
+	ga := NewGrid(7, 5, region)
+	gb := NewGrid(7, 5, region)
+	wa := NewGrid(7, 5, region)
+	wb := NewGrid(7, 5, region)
+	for i, r := range rects {
+		ta := 1.7 * float64(i+1)
+		tb := 0.3 * float64(i)
+		SpreadRectPair(ga, gb, r, ta, tb)
+		wa.SpreadRect(r, ta)
+		wb.SpreadRect(r, tb)
+	}
+	for i, v := range ga.Values() {
+		if !almostEqual(v, wa.Values()[i], 1e-12) {
+			t.Fatalf("grid A bin %d: pair=%v single=%v", i, v, wa.Values()[i])
+		}
+	}
+	for i, v := range gb.Values() {
+		if !almostEqual(v, wb.Values()[i], 1e-12) {
+			t.Fatalf("grid B bin %d: pair=%v single=%v", i, v, wb.Values()[i])
+		}
+	}
+}
+
+func TestSpreadRectPairGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched grid geometry")
+		}
+	}()
+	SpreadRectPair(testGrid(), NewGrid(5, 4, Rect{0, 0, 40, 40}), Rect{1, 1, 2, 2}, 1, 1)
+}

@@ -21,7 +21,7 @@ import (
 // primary's answer must not be shadowed by a cached Jacobi one.
 type resultCache struct {
 	mu      sync.Mutex
-	budget  int64 // < 0 disables the cache entirely
+	budget  int64 // <= 0 disables the cache entirely
 	bytes   int64
 	ll      *list.List // front = most recently used
 	entries map[string]*list.Element
@@ -45,7 +45,7 @@ func newResultCache(budget int64, stats *fault.Stats) *resultCache {
 
 // get returns the cached result for the key (marked as a cache hit) or nil.
 func (c *resultCache) get(key string) *Result {
-	if c.budget < 0 {
+	if c.budget <= 0 {
 		return nil
 	}
 	c.mu.Lock()
@@ -63,9 +63,13 @@ func (c *resultCache) get(key string) *Result {
 }
 
 // put inserts a result, evicting least-recently-used entries until the
-// budget holds. An entry larger than the whole budget is not cached at all.
+// budget holds. An entry larger than the whole budget is not cached at all,
+// and neither is a non-positive cost: a zero-cost entry would never trip the
+// byte-based eviction loop, so a budget==0 cache (or a miscounted cost)
+// could grow its entry count — and the map/list overhead the byte accounting
+// ignores — without bound.
 func (c *resultCache) put(key string, res *Result, cost int64) {
-	if c.budget < 0 || cost > c.budget {
+	if c.budget <= 0 || cost <= 0 || cost > c.budget {
 		return
 	}
 	c.mu.Lock()

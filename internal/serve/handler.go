@@ -171,6 +171,14 @@ type DesignStatz struct {
 	InFlight int   `json:"in_flight"`
 	Queued   int64 `json:"queued"`
 
+	// Baseline co-analysis scalars captured at warm-up: temperature-derated
+	// timing and routing congestion of the resident baseline. Zero when the
+	// design's flow runs with co-analysis off.
+	BaselineCriticalPathPs float64 `json:"baseline_critical_path_ps"`
+	BaselineWorstSlackPs   float64 `json:"baseline_worst_slack_ps"`
+	BaselineHPWLUm         float64 `json:"baseline_hpwl_um"`
+	BaselineOverflows      int     `json:"baseline_congestion_overflows"`
+
 	// Counter semantics are documented on fault.StatsSnapshot: Admitted,
 	// Shed, TimedOut, Degraded, Evicted are the service counters; the
 	// solver-level MGSetupFailures, SolveRetries, PanicsContained and
@@ -202,21 +210,25 @@ func (s *Server) Statz() StatzResponse {
 		}
 		snap := d.stats.Snapshot()
 		out.Designs = append(out.Designs, DesignStatz{
-			Design:          d.name,
-			Breaker:         d.brk.current(),
-			CacheBytes:      d.cache.footprint(),
-			CacheEntries:    d.cache.entriesLen(),
-			InFlight:        d.adm.inFlight(),
-			Queued:          d.adm.inQueue(),
-			MGSetupFailures: snap.MGSetupFailures,
-			SolveRetries:    snap.SolveRetries,
-			PanicsContained: snap.PanicsContained,
-			Canceled:        snap.Canceled,
-			Admitted:        snap.Admitted,
-			Shed:            snap.Shed,
-			TimedOut:        snap.TimedOut,
-			Degraded:        snap.Degraded,
-			Evicted:         snap.Evicted,
+			Design:                 d.name,
+			Breaker:                d.brk.current(),
+			CacheBytes:             d.cache.footprint(),
+			CacheEntries:           d.cache.entriesLen(),
+			InFlight:               d.adm.inFlight(),
+			Queued:                 d.adm.inQueue(),
+			BaselineCriticalPathPs: d.baseCritPathPs,
+			BaselineWorstSlackPs:   d.baseWorstSlackPs,
+			BaselineHPWLUm:         d.baseHPWL,
+			BaselineOverflows:      d.baseOverflows,
+			MGSetupFailures:        snap.MGSetupFailures,
+			SolveRetries:           snap.SolveRetries,
+			PanicsContained:        snap.PanicsContained,
+			Canceled:               snap.Canceled,
+			Admitted:               snap.Admitted,
+			Shed:                   snap.Shed,
+			TimedOut:               snap.TimedOut,
+			Degraded:               snap.Degraded,
+			Evicted:                snap.Evicted,
 		})
 	}
 	return out

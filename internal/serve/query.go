@@ -169,6 +169,17 @@ type SweepPoint struct {
 	PeakRiseK     float64 `json:"peak_rise_k"`
 	Rows          int     `json:"rows,omitempty"`
 	Utilization   float64 `json:"utilization"`
+
+	// Co-analysis metrics: temperature-derated timing and routing congestion
+	// measured at this point's placement and solved thermal field.
+	CriticalPathPs      float64 `json:"critical_path_ps"`
+	WorstSlackPs        float64 `json:"worst_slack_ps"`
+	HPWLUm              float64 `json:"hpwl_um"`
+	CongestionOverflows int     `json:"congestion_overflows"`
+	CongestionMaxUtil   float64 `json:"congestion_max_util"`
+	// Pareto marks points on the multi-objective Pareto front over
+	// (area overhead, peak rise, critical path, HPWL, overflows).
+	Pareto bool `json:"pareto,omitempty"`
 }
 
 // Result is the JSON response of a completed query. Float64 values survive
@@ -192,6 +203,15 @@ type Result struct {
 	PeakRiseK     float64 `json:"peak_rise_k,omitempty"`
 	TempReduction float64 `json:"temp_reduction,omitempty"`
 	TotalPowerW   float64 `json:"total_power_w,omitempty"`
+
+	// Co-analysis metrics of the analyzed point (the baseline, for sweeps):
+	// temperature-derated timing and routing congestion. Zero when the flow
+	// was configured with co-analysis off.
+	CriticalPathPs      float64 `json:"critical_path_ps,omitempty"`
+	WorstSlackPs        float64 `json:"worst_slack_ps,omitempty"`
+	HPWLUm              float64 `json:"hpwl_um,omitempty"`
+	CongestionOverflows int     `json:"congestion_overflows,omitempty"`
+	CongestionMaxUtil   float64 `json:"congestion_max_util,omitempty"`
 
 	Hotspots []HotspotSummary `json:"hotspots,omitempty"`
 	Points   []SweepPoint     `json:"points,omitempty"`
@@ -228,6 +248,15 @@ func Exec(ctx context.Context, f *flow.Flow, q Query) (*Result, int64, error) {
 			res.TempReduction = (baseRise - an.Thermal.PeakRise) / baseRise
 		}
 		res.TotalPowerW = an.Power.Total()
+		res.HPWLUm = an.HPWL
+		if an.Timing != nil {
+			res.CriticalPathPs = an.Timing.CriticalPathPs
+			res.WorstSlackPs = an.Timing.SlackPs
+		}
+		if an.Congestion != nil {
+			res.CongestionOverflows = an.Congestion.Overflows
+			res.CongestionMaxUtil = an.Congestion.MaxUtilization
+		}
 		for _, h := range an.Hotspots {
 			res.Hotspots = append(res.Hotspots, HotspotSummary{
 				ID: h.ID, PeakRiseK: h.PeakRise, MeanRiseK: h.MeanRise,
@@ -324,14 +353,33 @@ func Exec(ctx context.Context, f *flow.Flow, q Query) (*Result, int64, error) {
 		res.Utilization = sres.BaselineUtilization
 		res.PeakRiseK = baseRise
 		res.TotalPowerW = baseline.Power.Total()
-		for _, pt := range sres.Points {
+		res.HPWLUm = baseline.HPWL
+		if baseline.Timing != nil {
+			res.CriticalPathPs = baseline.Timing.CriticalPathPs
+			res.WorstSlackPs = baseline.Timing.SlackPs
+		}
+		if baseline.Congestion != nil {
+			res.CongestionOverflows = baseline.Congestion.Overflows
+			res.CongestionMaxUtil = baseline.Congestion.MaxUtilization
+		}
+		pareto := map[int]bool{}
+		for _, idx := range sres.ParetoFront() {
+			pareto[idx] = true
+		}
+		for i, pt := range sres.Points {
 			res.Points = append(res.Points, SweepPoint{
-				Strategy:      string(pt.Strategy),
-				AreaOverhead:  pt.AreaOverhead,
-				TempReduction: pt.TempReduction,
-				PeakRiseK:     pt.PeakRise,
-				Rows:          pt.Rows,
-				Utilization:   pt.Utilization,
+				Strategy:            string(pt.Strategy),
+				AreaOverhead:        pt.AreaOverhead,
+				TempReduction:       pt.TempReduction,
+				PeakRiseK:           pt.PeakRise,
+				Rows:                pt.Rows,
+				Utilization:         pt.Utilization,
+				CriticalPathPs:      pt.CriticalPathPs,
+				WorstSlackPs:        pt.WorstSlackPs,
+				HPWLUm:              pt.HPWL,
+				CongestionOverflows: pt.CongestionOverflows,
+				CongestionMaxUtil:   pt.CongestionMaxUtil,
+				Pareto:              pareto[i],
 			})
 		}
 		// No analyses are retained (KeepAnalyses false): charge a flat

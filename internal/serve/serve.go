@@ -130,6 +130,13 @@ type design struct {
 	cache   *resultCache
 	stats   *fault.Stats
 
+	// Baseline co-analysis scalars, captured once at AddDesign warm-up and
+	// reported on /statz. All zero when co-analysis is off for the design.
+	baseCritPathPs   float64
+	baseWorstSlackPs float64
+	baseHPWL         float64
+	baseOverflows    int
+
 	// fallbackOnce builds the Jacobi fallback flow on the breaker's first
 	// open; flow.New is infallible (solvers are built on first solve), so
 	// a plain Once suffices.
@@ -205,9 +212,18 @@ func (s *Server) AddDesign(ctx context.Context, name string, net *netlist.Design
 		cache:   newResultCache(s.cfg.CacheBytes, stats),
 		stats:   stats,
 	}
-	if _, err := d.primary.AnalyzeBaselineCtx(ctx); err != nil {
+	baseline, err := d.primary.AnalyzeBaselineCtx(ctx)
+	if err != nil {
 		d.primary.Close()
 		return err
+	}
+	d.baseHPWL = baseline.HPWL
+	if baseline.Timing != nil {
+		d.baseCritPathPs = baseline.Timing.CriticalPathPs
+		d.baseWorstSlackPs = baseline.Timing.SlackPs
+	}
+	if baseline.Congestion != nil {
+		d.baseOverflows = baseline.Congestion.Overflows
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -228,6 +229,34 @@ func TestResultCacheLRU(t *testing.T) {
 	}
 }
 
+// Regression: a budget of 0 must behave as a disabled cache. Before the fix,
+// zero-cost entries passed the `cost > budget` admission check and the
+// byte-based eviction loop never fired, so the entry count (and the map/list
+// overhead the byte accounting ignores) grew without bound.
+func TestResultCacheZeroBudgetAdmitsNothing(t *testing.T) {
+	stats := &fault.Stats{}
+	c := newResultCache(0, stats)
+	mk := func(k string) *Result { return &Result{Query: k} }
+	for i := 0; i < 100; i++ {
+		c.put("k"+strconv.Itoa(i), mk("x"), 0)
+	}
+	if n := c.entriesLen(); n != 0 {
+		t.Fatalf("budget-0 cache holds %d entries, want 0", n)
+	}
+	if c.get("k0") != nil {
+		t.Fatal("budget-0 cache returned a hit")
+	}
+
+	// Non-positive costs are rejected even on an enabled cache: they would
+	// be unevictable by the byte accounting.
+	on := newResultCache(100, stats)
+	on.put("zero", mk("zero"), 0)
+	on.put("neg", mk("neg"), -8)
+	if n := on.entriesLen(); n != 0 {
+		t.Fatalf("non-positive-cost entries admitted: %d resident", n)
+	}
+}
+
 func TestQueryParseAndKey(t *testing.T) {
 	q, err := ParseQuery(KindAnalyze, url.Values{"util": {"0.7"}, "full": {"1"}})
 	if err != nil {
@@ -319,6 +348,14 @@ func TestServerEndToEnd(t *testing.T) {
 		got.TotalPowerW != want.TotalPowerW || got.AreaOverhead != want.AreaOverhead {
 		t.Fatalf("served result differs from direct Exec:\n got %+v\nwant %+v", got, want)
 	}
+	if got.CriticalPathPs != want.CriticalPathPs || got.WorstSlackPs != want.WorstSlackPs ||
+		got.HPWLUm != want.HPWLUm || got.CongestionOverflows != want.CongestionOverflows ||
+		got.CongestionMaxUtil != want.CongestionMaxUtil {
+		t.Fatalf("served co-analysis metrics differ from direct Exec:\n got %+v\nwant %+v", got, want)
+	}
+	if got.CriticalPathPs <= 0 || got.HPWLUm <= 0 {
+		t.Fatalf("co-analysis metrics missing from /analyze: %+v", got)
+	}
 	if len(got.Surface) != len(want.Surface) {
 		t.Fatalf("surface rows %d, want %d", len(got.Surface), len(want.Surface))
 	}
@@ -366,6 +403,18 @@ func TestServerEndToEnd(t *testing.T) {
 	if len(sw.Points) == 0 {
 		t.Fatal("sweep returned no points")
 	}
+	onFront := 0
+	for _, pt := range sw.Points {
+		if pt.CriticalPathPs <= 0 || pt.HPWLUm <= 0 {
+			t.Fatalf("sweep point missing co-analysis metrics: %+v", pt)
+		}
+		if pt.Pareto {
+			onFront++
+		}
+	}
+	if onFront == 0 {
+		t.Fatal("no sweep point marked on the Pareto front")
+	}
 
 	// Error paths carry categories.
 	var eb errorBody
@@ -397,6 +446,9 @@ func TestServerEndToEnd(t *testing.T) {
 	ds := stz.Designs[0]
 	if ds.Admitted < 5 || ds.Breaker != "closed" || ds.CacheBytes <= 0 {
 		t.Fatalf("statz counters implausible: %+v", ds)
+	}
+	if ds.BaselineCriticalPathPs <= 0 || ds.BaselineHPWLUm <= 0 {
+		t.Fatalf("statz missing baseline co-analysis metrics: %+v", ds)
 	}
 
 	// Drain: readyz flips, queries shed, nothing accepted afterwards.

@@ -1,0 +1,328 @@
+package timing
+
+import (
+	"testing"
+
+	"thermplace/internal/celllib"
+	"thermplace/internal/geom"
+	"thermplace/internal/netlist"
+	"thermplace/internal/place"
+)
+
+// libWithDINFlop returns the default library extended with a flip-flop whose
+// data pin is named DIN rather than D, modelled on DFF_X1.
+func libWithDINFlop(t *testing.T) *celllib.Library {
+	t.Helper()
+	lib := celllib.Default65nm()
+	dff := lib.Master("DFF_X1")
+	if dff == nil {
+		t.Fatal("library has no DFF_X1")
+	}
+	err := lib.AddMaster(&celllib.Master{
+		Name:  "DFFDIN_X1",
+		Width: dff.Width,
+		Pins: []celllib.Pin{
+			{Name: "DIN", Dir: celllib.Input, Cap: dff.PinCap("D")},
+			{Name: "CK", Dir: celllib.Input, Cap: dff.PinCap("CK")},
+			{Name: "Q", Dir: celllib.Output},
+		},
+		Function:     celllib.FuncDFF,
+		DriveRes:     dff.DriveRes,
+		Intrinsic:    dff.Intrinsic,
+		Leakage:      dff.Leakage,
+		SwitchEnergy: dff.SwitchEnergy,
+		Sequential:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// Regression for the hardcoded consider(ff.Conn("D")) endpoint scan: a
+// sequential master whose data pin is not literally named "D" must still
+// contribute its data net as a timing endpoint.
+func TestEndpointPinNotNamedD(t *testing.T) {
+	lib := libWithDINFlop(t)
+	d := netlist.NewDesign("dinchain", lib)
+	if _, err := d.AddPort("clk", netlist.In); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("a", netlist.In); err != nil {
+		t.Fatal(err)
+	}
+	cur := d.Net("a")
+	for i := 0; i < 3; i++ {
+		inst, err := d.AddInstance(fmtInt("inv", i), "INV_X1", "u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := d.GetOrCreateNet(fmtInt("n", i))
+		if err := d.Connect(inst, "A", cur); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Connect(inst, "Z", next); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	ff, err := d.AddInstance("ff", "DFFDIN_X1", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(ff, "DIN", cur); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(ff, "CK", d.Net("clk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(ff, "Q", d.GetOrCreateNet("q")); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Analyze(d, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Endpoints != 1 {
+		t.Fatalf("Endpoints = %d, want 1 (the DIN net)", rep.Endpoints)
+	}
+	if want := rep.ArrivalPs[cur.Name]; rep.CriticalPathPs != want {
+		t.Fatalf("critical path %g ps, want the DIN-net arrival %g ps", rep.CriticalPathPs, want)
+	}
+}
+
+// Regression for the endpoint double count: a net that is both a flip-flop
+// data input and a primary output is one endpoint, not two.
+func TestEndpointCountedOnceWhenDataNetIsPrimaryOutput(t *testing.T) {
+	d := chainDesign(t, 3)
+	y, err := d.AddPort("y", netlist.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebind the output port to the FF's data net, making it both kinds of
+	// endpoint at once.
+	ff := d.Instance("ff")
+	y.Net = ff.Conn("D")
+	rep, err := Analyze(d, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Endpoints != 1 {
+		t.Fatalf("Endpoints = %d, want 1 (FF data net == primary output)", rep.Endpoints)
+	}
+}
+
+// Regression for the zero-value option conflation: explicitly zero derates
+// with a temperature map must disable derating, not silently become the
+// 4%/10C / 5%/10C defaults.
+func TestZeroDeratesAreExpressible(t *testing.T) {
+	d, p := placedBenchmark(t)
+	plain, err := Analyze(d, p, Options{ClockPeriodPs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotMap := geom.NewGrid(10, 10, p.FP.Core)
+	hotMap.Fill(95)
+	derated, err := Analyze(d, p, Options{
+		TemperatureMap: hotMap,
+		ClockPeriodPs:  1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derated.CriticalPathPs != plain.CriticalPathPs {
+		t.Fatalf("zero derates must be inert: %g ps with map vs %g ps without",
+			derated.CriticalPathPs, plain.CriticalPathPs)
+	}
+}
+
+// Regression for the zero-value option conflation: NominalC 0 must mean
+// "characterized at 0 C", not silently become 25 C.
+func TestZeroNominalIsExpressible(t *testing.T) {
+	d, p := placedBenchmark(t)
+	plain, err := Analyze(d, p, Options{ClockPeriodPs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atNominal := geom.NewGrid(10, 10, p.FP.Core)
+	atNominal.Fill(0) // the die sits exactly at the 0 C nominal
+	same, err := Analyze(d, p, Options{
+		TemperatureMap:   atNominal,
+		NominalC:         0,
+		CellDeratePer10C: 0.04,
+		WireDeratePer10C: 0.05,
+		ClockPeriodPs:    1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.CriticalPathPs != plain.CriticalPathPs {
+		t.Fatalf("die at the 0 C nominal must not derate: %g ps vs %g ps",
+			same.CriticalPathPs, plain.CriticalPathPs)
+	}
+}
+
+// stretchWithDelta applies the ERI-like vertical stretch of
+// TestPostPlacementTransformTimingOverheadIsSmall under delta recording,
+// returning the derived placement and its recorded delta.
+func stretchWithDelta(t *testing.T, d *netlist.Design, p *place.Placement) (*place.Placement, *place.Delta) {
+	t.Helper()
+	stretched := p.Clone()
+	stretched.BeginDelta()
+	stretched.FP.Core.Yhi += 4 * p.FP.RowHeight
+	for i := 0; i < 4; i++ {
+		if err := stretched.FP.InsertRows(stretched.FP.NumRows(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := p.FP.Core.Center().Y
+	for _, inst := range d.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		if l, ok := stretched.Loc(inst); ok && l.Y > mid {
+			l.Row += 4
+			l.Y = stretched.FP.Rows[l.Row].Y
+			stretched.SetLoc(inst, l)
+		}
+	}
+	place.Legalize(stretched)
+	return stretched, stretched.EndDelta()
+}
+
+// gradientMap builds a non-uniform temperature field so the derates vary
+// across the core and the incremental path has to re-derate moved cells.
+func gradientMap(core geom.Rect) *geom.Grid {
+	g := geom.NewGrid(10, 10, core)
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			g.Set(ix, iy, 40+3*float64(ix)+2*float64(iy))
+		}
+	}
+	return g
+}
+
+// TestAnalyzerUpdateMatchesFromScratch pins the incremental contract: after
+// a recorded placement delta, Update must be bit-identical (== on floats) to
+// a from-scratch Analyze of the derived placement.
+func TestAnalyzerUpdateMatchesFromScratch(t *testing.T) {
+	d, p := placedBenchmark(t)
+	a, err := NewAnalyzer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.TemperatureMap = gradientMap(p.FP.Core)
+	base := a.Analyze(p, opts)
+
+	stretched, delta := stretchWithDelta(t, d, p)
+	if delta.IsFull() || delta.Empty() {
+		t.Fatalf("expected a sparse non-empty delta, got full=%v empty=%v", delta.IsFull(), delta.Empty())
+	}
+	full := a.Analyze(stretched, opts)
+	inc := a.Update(base, stretched, delta, opts)
+
+	if inc.CriticalPathPs != full.CriticalPathPs || inc.SlackPs != full.SlackPs ||
+		inc.MaxFrequencyGHz != full.MaxFrequencyGHz || inc.Endpoints != full.Endpoints {
+		t.Fatalf("incremental summary differs:\n inc  %+v\n full %+v",
+			[]any{inc.CriticalPathPs, inc.SlackPs, inc.MaxFrequencyGHz, inc.Endpoints},
+			[]any{full.CriticalPathPs, full.SlackPs, full.MaxFrequencyGHz, full.Endpoints})
+	}
+	if len(inc.ArrivalPs) != len(full.ArrivalPs) {
+		t.Fatalf("arrival map size differs: %d vs %d", len(inc.ArrivalPs), len(full.ArrivalPs))
+	}
+	for name, want := range full.ArrivalPs {
+		if got, ok := inc.ArrivalPs[name]; !ok || got != want {
+			t.Fatalf("arrival of %q differs: %v (present=%v) vs %v", name, got, ok, want)
+		}
+	}
+	if len(inc.CriticalPath) != len(full.CriticalPath) {
+		t.Fatalf("critical path length differs: %d vs %d", len(inc.CriticalPath), len(full.CriticalPath))
+	}
+	for i := range full.CriticalPath {
+		if inc.CriticalPath[i] != full.CriticalPath[i] {
+			t.Fatalf("critical path step %d differs: %+v vs %+v", i, inc.CriticalPath[i], full.CriticalPath[i])
+		}
+	}
+	changed := 0
+	for name, v := range full.ArrivalPs {
+		if base.ArrivalPs[name] != v {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("stretch did not change any arrival; the equality above proved nothing")
+	}
+	t.Logf("stretch moved %d of %d arrivals; incremental bit-identical", changed, len(full.ArrivalPs))
+}
+
+// TestAnalyzerUpdateNegativeUnderReportedDelta is the PR 5-style corruption
+// check: feeding Update a delta that hides the moves (here: an empty one for
+// a placement that really changed) must produce a report that the
+// bit-identity comparison rejects — proving the equality test above can
+// fail.
+func TestAnalyzerUpdateNegativeUnderReportedDelta(t *testing.T) {
+	d, p := placedBenchmark(t)
+	a, err := NewAnalyzer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.TemperatureMap = gradientMap(p.FP.Core)
+	base := a.Analyze(p, opts)
+
+	// Record nothing, then move cells anyway: the delta under-reports.
+	lying := p.Clone()
+	lying.BeginDelta()
+	empty := lying.EndDelta()
+	lying.FP.Core.Yhi += 4 * p.FP.RowHeight
+	for i := 0; i < 4; i++ {
+		if err := lying.FP.InsertRows(lying.FP.NumRows(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := p.FP.Core.Center().Y
+	for _, inst := range d.Instances() {
+		if inst.IsFiller() {
+			continue
+		}
+		if l, ok := lying.Loc(inst); ok && l.Y > mid {
+			l.Row += 4
+			l.Y = lying.FP.Rows[l.Row].Y
+			lying.SetLoc(inst, l)
+		}
+	}
+	place.Legalize(lying)
+
+	full := a.Analyze(lying, opts)
+	inc := a.Update(base, lying, empty, opts)
+	differs := 0
+	for name, v := range full.ArrivalPs {
+		if inc.ArrivalPs[name] != v {
+			differs++
+		}
+	}
+	if differs == 0 {
+		t.Fatal("under-reported delta went undetected: incremental equals from-scratch")
+	}
+}
+
+// TestAnalyzerUpdateFallsBackOnChangedOptions: different options (including
+// a different temperature map) must not reuse the previous propagation.
+func TestAnalyzerUpdateFallsBackOnChangedOptions(t *testing.T) {
+	d, p := placedBenchmark(t)
+	a, err := NewAnalyzer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := a.Analyze(p, DefaultOptions())
+	stretched, delta := stretchWithDelta(t, d, p)
+	opts := DefaultOptions()
+	opts.TemperatureMap = gradientMap(p.FP.Core)
+	full := a.Analyze(stretched, opts)
+	inc := a.Update(base, stretched, delta, opts)
+	if inc.CriticalPathPs != full.CriticalPathPs {
+		t.Fatalf("option-change fallback broken: %g vs %g", inc.CriticalPathPs, full.CriticalPathPs)
+	}
+}

@@ -11,50 +11,57 @@
 // The delay model is the usual linear one: cell delay = intrinsic +
 // drive-resistance * load, wire delay from a lumped Elmore term computed on
 // the placed net's half-perimeter wirelength.
+//
+// The analyzer caches everything that depends only on the netlist — the
+// levelized gate order, the sequential elements and the deduplicated
+// endpoint nets — in an Analyzer, so a sweep re-analyzing many placements
+// of one design pays the graph construction once. Analyzer.Update
+// additionally re-propagates only the fan-out cone of a placement delta's
+// dirty nets, bit-identical to a from-scratch Analyze.
 package timing
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"thermplace/internal/geom"
 	"thermplace/internal/netlist"
 	"thermplace/internal/place"
 )
 
-// Options configures a timing analysis.
+// Options configures a timing analysis. The values are used verbatim: a zero
+// derate disables that derating term and NominalC 0 derates relative to 0
+// degrees C. DefaultOptions supplies the paper's characterization point;
+// build on it to get the 4%/10C and 5%/10C derates.
 type Options struct {
 	// TemperatureMap, when non-nil, derates every cell and wire with the
-	// temperature of its location (degrees C). The map must cover the core.
+	// temperature of its location (degrees C, absolute). The map must cover
+	// the core.
 	TemperatureMap *geom.Grid
 	// NominalC is the temperature at which the library delays are
-	// characterized. Zero means 25.
+	// characterized.
 	NominalC float64
 	// CellDeratePer10C is the fractional cell-delay increase per 10 C above
-	// nominal. Zero means 0.04 (the paper's 4% drive-current loss).
+	// nominal. Zero disables cell derating.
 	CellDeratePer10C float64
 	// WireDeratePer10C is the fractional wire-delay increase per 10 C above
-	// nominal. Zero means 0.05 (the paper's 5%).
+	// nominal. Zero disables wire derating.
 	WireDeratePer10C float64
 	// ClockPeriodPs, when positive, is used to report slack.
 	ClockPeriodPs float64
 }
 
-// DefaultOptions returns options without temperature derating at a 1 GHz
-// clock (1000 ps period).
-func DefaultOptions() Options { return Options{ClockPeriodPs: 1000} }
-
-func (o Options) withDefaults() Options {
-	if o.NominalC == 0 {
-		o.NominalC = 25
+// DefaultOptions returns the paper's characterization point — delays
+// characterized at 25 C, 4%/10C cell and 5%/10C wire derates (inert until a
+// TemperatureMap is set) — at a 1 GHz clock (1000 ps period).
+func DefaultOptions() Options {
+	return Options{
+		NominalC:         25,
+		CellDeratePer10C: 0.04,
+		WireDeratePer10C: 0.05,
+		ClockPeriodPs:    1000,
 	}
-	if o.CellDeratePer10C == 0 {
-		o.CellDeratePer10C = 0.04
-	}
-	if o.WireDeratePer10C == 0 {
-		o.WireDeratePer10C = 0.05
-	}
-	return o
 }
 
 // PathStep is one hop of a timing path.
@@ -72,7 +79,7 @@ type PathStep struct {
 // Report is the result of a timing analysis.
 type Report struct {
 	// CriticalPathPs is the worst arrival time at any endpoint (flip-flop
-	// D input or primary output) in picoseconds.
+	// data input or primary output) in picoseconds.
 	CriticalPathPs float64
 	// CriticalPath lists the steps of the worst path, start to end.
 	CriticalPath []PathStep
@@ -80,10 +87,30 @@ type Report struct {
 	SlackPs float64
 	// MaxFrequencyGHz is 1000 / CriticalPathPs.
 	MaxFrequencyGHz float64
-	// ArrivalPs maps every net name to its worst arrival time.
+	// ArrivalPs maps every reached net name to its worst arrival time.
 	ArrivalPs map[string]float64
-	// Endpoints is the number of timing endpoints analyzed.
+	// Endpoints is the number of distinct timing endpoint nets analyzed.
 	Endpoints int
+
+	// Incremental-update state: the per-net (by ordinal) arrival times,
+	// reachability and worst driver steps this report was computed from, and
+	// the options that produced it. Analyzer.Update starts from these
+	// instead of re-propagating the whole graph.
+	opts    Options
+	arrival []float64
+	reached []bool
+	steps   []PathStep
+}
+
+// MemoryBytes coarsely estimates the retained size of the report's numeric
+// payload — the per-net arrival/step state kept for incremental updates and
+// the arrival-time map. It feeds flow.Analysis.MemoryBytes, the accounting
+// unit of the query server's result cache.
+func (r *Report) MemoryBytes() int64 {
+	n := int64(len(r.arrival))*8 + int64(len(r.reached)) + int64(len(r.steps))*48
+	n += int64(len(r.ArrivalPs)) * 48 // map entry + short name, coarse
+	n += int64(len(r.CriticalPath)) * 48
+	return n
 }
 
 // Overhead returns the fractional critical-path increase of after relative
@@ -102,22 +129,31 @@ type node struct {
 	outNet *netlist.Net
 }
 
-// Analyze runs a full-chip static timing analysis on the placed design.
-// The placement may be nil, in which case wire delay and wire load are
-// ignored (useful to isolate the pure gate-delay component).
-func Analyze(d *netlist.Design, p *place.Placement, opts Options) (*Report, error) {
-	opts = opts.withDefaults()
+// Analyzer holds the placement-independent timing graph of one design: the
+// combinational nodes in a fixed topological order, the sequential launch
+// points and the deduplicated endpoint nets. It is immutable after
+// construction and safe for concurrent use; building it once and calling
+// Analyze per placement skips the graph extraction and levelization that
+// dominate small analyses.
+type Analyzer struct {
+	d       *netlist.Design
+	nodes   []node // topological order
+	seqs    []*netlist.Instance
+	endNets []*netlist.Net // deduped: FF data-input nets, then primary outputs
+	numNets int
+}
 
-	// Collect combinational nodes and sequential elements.
+// NewAnalyzer extracts and levelizes the timing graph of the design.
+func NewAnalyzer(d *netlist.Design) (*Analyzer, error) {
+	a := &Analyzer{d: d, numNets: d.NumNets()}
 	var nodes []node
-	var seqs []*netlist.Instance
 	for _, inst := range d.Instances() {
 		m := inst.Master
 		switch {
 		case m.Filler:
 			continue
 		case m.Sequential:
-			seqs = append(seqs, inst)
+			a.seqs = append(a.seqs, inst)
 		default:
 			out := inst.Conn(m.OutputPin())
 			if out == nil {
@@ -134,96 +170,255 @@ func Analyze(d *netlist.Design, p *place.Placement, opts Options) (*Report, erro
 			nodes = append(nodes, n)
 		}
 	}
-
 	order, err := levelize(nodes)
 	if err != nil {
 		return nil, err
 	}
+	a.nodes = order
 
-	arrival := make(map[*netlist.Net]float64, d.NumNets())
-	prev := make(map[*netlist.Net]PathStep, d.NumNets())
+	// Endpoint nets: every sequential data input (any input pin that is not
+	// a clock — the pin name is not hardwired to "D") plus the primary
+	// outputs, deduplicated so a net that is both is counted once.
+	endSeen := make([]bool, a.numNets)
+	addEnd := func(net *netlist.Net) {
+		if net == nil || endSeen[net.Ord()] {
+			return
+		}
+		endSeen[net.Ord()] = true
+		a.endNets = append(a.endNets, net)
+	}
+	for _, ff := range a.seqs {
+		for _, pin := range ff.Master.Inputs() {
+			if isClockPin(pin) {
+				continue
+			}
+			addEnd(ff.Conn(pin))
+		}
+	}
+	for _, port := range d.Ports() {
+		if port.Dir == netlist.Out {
+			addEnd(port.Net)
+		}
+	}
+	return a, nil
+}
+
+// isClockPin reports whether a sequential input pin name denotes a clock
+// rather than a data input. This mirrors the load-side heuristic logicsim
+// uses to identify clock nets.
+func isClockPin(name string) bool {
+	switch strings.ToLower(name) {
+	case "ck", "clk", "clock", "cp", "ckb", "clkb":
+		return true
+	}
+	return false
+}
+
+// Analyze runs a full-chip static timing analysis on the placed design.
+// The placement may be nil, in which case wire delay and wire load are
+// ignored (useful to isolate the pure gate-delay component).
+func Analyze(d *netlist.Design, p *place.Placement, opts Options) (*Report, error) {
+	a, err := NewAnalyzer(d)
+	if err != nil {
+		return nil, err
+	}
+	return a.Analyze(p, opts), nil
+}
+
+// Analyze propagates arrival times through the cached graph for one
+// placement. It is safe for concurrent use.
+func (a *Analyzer) Analyze(p *place.Placement, opts Options) *Report {
+	arrival := make([]float64, a.numNets)
+	reached := make([]bool, a.numNets)
+	steps := make([]PathStep, a.numNets)
 
 	// Launch points: primary inputs at t=0 and flip-flop outputs at their
 	// clock-to-output delay.
-	for _, port := range d.Ports() {
-		if port.Dir == netlist.In {
-			arrival[port.Net] = 0
+	for _, port := range a.d.Ports() {
+		if port.Dir == netlist.In && port.Net != nil {
+			reached[port.Net.Ord()] = true
 		}
 	}
-	for _, ff := range seqs {
+	for _, ff := range a.seqs {
 		out := ff.Conn(ff.Master.OutputPin())
 		if out == nil {
 			continue
 		}
-		t := cellDelay(d, p, ff, out, opts) + wireDelay(d, p, out, opts)
-		if t > arrival[out] {
-			arrival[out] = t
-			prev[out] = PathStep{Inst: ff, Net: out, DelayPs: t, ArrivalPs: t}
+		o := out.Ord()
+		t := cellDelay(a.d, p, ff, out, opts) + wireDelay(a.d, p, out, opts)
+		if t > arrival[o] {
+			arrival[o] = t
+			reached[o] = true
+			steps[o] = PathStep{Inst: ff, Net: out, DelayPs: t, ArrivalPs: t}
 		}
 	}
 
 	// Propagate arrivals in topological order.
-	for _, n := range order {
+	for i := range a.nodes {
+		n := &a.nodes[i]
 		worst := 0.0
 		for _, in := range n.inNets {
-			if a := arrival[in]; a >= worst {
-				worst = a
+			if t := arrival[in.Ord()]; t >= worst {
+				worst = t
 			}
 		}
-		delay := cellDelay(d, p, n.inst, n.outNet, opts) + wireDelay(d, p, n.outNet, opts)
+		delay := cellDelay(a.d, p, n.inst, n.outNet, opts) + wireDelay(a.d, p, n.outNet, opts)
 		t := worst + delay
-		if t > arrival[n.outNet] {
-			arrival[n.outNet] = t
-			prev[n.outNet] = PathStep{Inst: n.inst, Net: n.outNet, DelayPs: delay, ArrivalPs: t}
+		o := n.outNet.Ord()
+		if t > arrival[o] {
+			arrival[o] = t
+			reached[o] = true
+			steps[o] = PathStep{Inst: n.inst, Net: n.outNet, DelayPs: delay, ArrivalPs: t}
+		}
+	}
+	return a.finish(opts, arrival, reached, steps)
+}
+
+// Update re-analyzes the design after a placement delta, re-derating and
+// re-propagating only the fan-out cone of the delta's dirty nets. The result
+// is bit-identical to a.Analyze(p, opts) — same float operations on the same
+// operands — provided prev came from this analyzer, p was derived from
+// prev's placement by the moves the delta records (port locations
+// unchanged), and opts equals prev's options including the identical
+// TemperatureMap grid. When any precondition is not met (nil/full delta,
+// different options, foreign report) it falls back to the full propagation.
+func (a *Analyzer) Update(prev *Report, p *place.Placement, delta *place.Delta, opts Options) *Report {
+	if prev == nil || prev.arrival == nil || len(prev.arrival) != a.numNets ||
+		prev.opts != opts || delta == nil || delta.IsFull() {
+		return a.Analyze(p, opts)
+	}
+	if delta.Empty() {
+		return prev
+	}
+	dirty := make([]bool, a.numNets)
+	any := false
+	for _, ord := range delta.DirtyNets() {
+		if int(ord) < a.numNets {
+			dirty[ord] = true
+			any = true
+		}
+	}
+	if !any {
+		return prev
+	}
+	arrival := append([]float64(nil), prev.arrival...)
+	reached := append([]bool(nil), prev.reached...)
+	steps := append([]PathStep(nil), prev.steps...)
+	// affected marks nets whose arrival (or reachability) changed; a node is
+	// re-evaluated when its own delay may have changed (dirty output net) or
+	// any of its inputs was affected — the dirty fan-out cone.
+	affected := make([]bool, a.numNets)
+
+	// set replicates the from-scratch launch/propagation decision for a
+	// single-driver net starting from the zero state: arrival t is recorded
+	// iff t > 0.
+	set := func(o int, t float64, step PathStep) {
+		nt, nr := 0.0, false
+		if t > 0 {
+			nt, nr = t, true
+		}
+		if nt != arrival[o] || nr != reached[o] {
+			arrival[o], reached[o] = nt, nr
+			affected[o] = true
+		}
+		if nr {
+			steps[o] = step
+		} else {
+			steps[o] = PathStep{}
 		}
 	}
 
-	// Endpoints: flip-flop D nets and primary-output nets.
-	rep := &Report{ArrivalPs: make(map[string]float64, len(arrival))}
-	for net, t := range arrival {
-		rep.ArrivalPs[net.Name] = t
+	for _, ff := range a.seqs {
+		out := ff.Conn(ff.Master.OutputPin())
+		if out == nil || !dirty[out.Ord()] {
+			continue
+		}
+		t := cellDelay(a.d, p, ff, out, opts) + wireDelay(a.d, p, out, opts)
+		set(out.Ord(), t, PathStep{Inst: ff, Net: out, DelayPs: t, ArrivalPs: t})
+	}
+	for i := range a.nodes {
+		n := &a.nodes[i]
+		o := n.outNet.Ord()
+		recompute := dirty[o]
+		if !recompute {
+			for _, in := range n.inNets {
+				if affected[in.Ord()] {
+					recompute = true
+					break
+				}
+			}
+			if !recompute {
+				continue
+			}
+		}
+		var delay float64
+		if dirty[o] {
+			delay = cellDelay(a.d, p, n.inst, n.outNet, opts) + wireDelay(a.d, p, n.outNet, opts)
+		} else {
+			// The net's pins did not move, so the delay the previous pass
+			// recorded on its driver step is the value a from-scratch
+			// propagation would recompute.
+			delay = steps[o].DelayPs
+		}
+		worst := 0.0
+		for _, in := range n.inNets {
+			if t := arrival[in.Ord()]; t >= worst {
+				worst = t
+			}
+		}
+		t := worst + delay
+		set(o, t, PathStep{Inst: n.inst, Net: n.outNet, DelayPs: delay, ArrivalPs: t})
+	}
+	return a.finish(opts, arrival, reached, steps)
+}
+
+// finish derives the report from a propagated arrival state. Analyze and
+// Update share it, so their endpoint selection, path reconstruction and
+// derived metrics are the same code on the same operands.
+func (a *Analyzer) finish(opts Options, arrival []float64, reached []bool, steps []PathStep) *Report {
+	rep := &Report{
+		ArrivalPs: make(map[string]float64, a.numNets),
+		opts:      opts,
+		arrival:   arrival,
+		reached:   reached,
+		steps:     steps,
+	}
+	for _, net := range a.d.Nets() {
+		if reached[net.Ord()] {
+			rep.ArrivalPs[net.Name] = arrival[net.Ord()]
+		}
 	}
 	var worstNet *netlist.Net
-	consider := func(net *netlist.Net) {
-		if net == nil {
-			return
-		}
+	for _, net := range a.endNets {
 		rep.Endpoints++
-		if t := arrival[net]; t >= rep.CriticalPathPs {
+		if t := arrival[net.Ord()]; t >= rep.CriticalPathPs {
 			rep.CriticalPathPs = t
 			worstNet = net
 		}
 	}
-	for _, ff := range seqs {
-		consider(ff.Conn("D"))
-	}
-	for _, port := range d.Ports() {
-		if port.Dir == netlist.Out {
-			consider(port.Net)
-		}
-	}
 	if rep.Endpoints == 0 {
 		// Purely combinational fan-out-free design: fall back to the worst
-		// arrival anywhere.
-		for net, t := range arrival {
+		// arrival anywhere, scanning nets in creation order so the reported
+		// worst net is deterministic.
+		for _, net := range a.d.Nets() {
+			if !reached[net.Ord()] {
+				continue
+			}
 			rep.Endpoints++
-			if t >= rep.CriticalPathPs {
+			if t := arrival[net.Ord()]; t >= rep.CriticalPathPs {
 				rep.CriticalPathPs = t
 				worstNet = net
 			}
 		}
 	}
-
-	// Reconstruct the critical path by walking prev links backwards through
-	// the worst input of each step's driver.
-	rep.CriticalPath = tracePath(d, prev, arrival, worstNet)
+	rep.CriticalPath = a.tracePath(arrival, steps, worstNet)
 	if rep.CriticalPathPs > 0 {
 		rep.MaxFrequencyGHz = 1000 / rep.CriticalPathPs
 	}
 	if opts.ClockPeriodPs > 0 {
 		rep.SlackPs = opts.ClockPeriodPs - rep.CriticalPathPs
 	}
-	return rep, nil
+	return rep
 }
 
 // levelize orders the combinational nodes topologically.
@@ -266,14 +461,14 @@ func levelize(nodes []node) ([]node, error) {
 	return out, nil
 }
 
-// tracePath rebuilds the critical path from the prev-step links.
-func tracePath(d *netlist.Design, prev map[*netlist.Net]PathStep, arrival map[*netlist.Net]float64, end *netlist.Net) []PathStep {
+// tracePath rebuilds the critical path from the per-net driver steps.
+func (a *Analyzer) tracePath(arrival []float64, steps []PathStep, end *netlist.Net) []PathStep {
 	var rev []PathStep
-	seen := make(map[*netlist.Net]bool)
-	for net := end; net != nil && !seen[net]; {
-		seen[net] = true
-		step, ok := prev[net]
-		if !ok {
+	seen := make([]bool, a.numNets)
+	for net := end; net != nil && !seen[net.Ord()]; {
+		seen[net.Ord()] = true
+		step := steps[net.Ord()]
+		if step.Net == nil {
 			break
 		}
 		rev = append(rev, step)
@@ -288,7 +483,7 @@ func tracePath(d *netlist.Design, prev map[*netlist.Net]PathStep, arrival map[*n
 			if in == nil {
 				continue
 			}
-			if t := arrival[in]; t > worstT {
+			if t := arrival[in.Ord()]; t > worstT {
 				worstT = t
 				worst = in
 			}
