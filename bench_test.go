@@ -212,6 +212,42 @@ func BenchmarkFig6_CoAnalysisSweep(b *testing.B) {
 	b.ReportMetric(float64(overflows), "total_overflow_bins")
 }
 
+// BenchmarkFig6_AdaptiveSweep is the two-phase multi-fidelity sweep over a
+// design space an order of magnitude denser than Figure 6's: the overhead
+// axis is densified 12x and crossed with two floorplan aspect ratios, then
+// candidates are triaged on calibrated coarse-grid estimates so only the
+// estimated Pareto front (plus a safety margin) is measured exactly. The
+// reported metrics pin the triage economics: how many grid candidates were
+// enumerated, what fraction never reached the exact phase, and how many
+// exact solves the run actually paid for.
+func BenchmarkFig6_AdaptiveSweep(b *testing.B) {
+	f := paperFlow(b, bench.ScatteredSmallHotspots())
+	opts := core.SweepOptions{
+		Overheads:   []float64{0.16, 0.32},
+		Incremental: true,
+		Adaptive: &core.AdaptiveOptions{
+			GridScale: 12,
+			Margin:    0.05,
+			Aspects:   []float64{1.0, 2.0},
+		},
+	}
+	var res *core.SweepResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.SweepEfficiency(f, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts := res.Triage
+	b.ReportMetric(float64(ts.Candidates), "grid_candidates")
+	b.ReportMetric(100*float64(ts.Candidates-ts.Survivors)/float64(ts.Candidates), "triaged_pct")
+	b.ReportMetric(float64(ts.CoarseSolves), "coarse_solves")
+	b.ReportMetric(float64(ts.ExactSolves), "exact_solves")
+	b.ReportMetric(float64(len(res.ParetoFront())), "pareto_points")
+	b.ReportMetric(ts.MaxEstErrC, "max_est_err_c")
+}
+
 // BenchmarkTable1_ConcentratedHotspot regenerates Table I: Default versus
 // ERI on the single large concentrated hotspot at the paper's two area
 // overheads (16.1% with 20 rows and 32.2% with 40 rows).

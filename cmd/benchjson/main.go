@@ -15,6 +15,7 @@
 //
 //	go test -run NONE -bench . -benchmem . | benchjson -o BENCH_results.json
 //	benchjson -baseline BENCH_baseline.json -diff BENCH_smoke.json
+//	benchjson -baseline BENCH_baseline.json -diff BENCH_smoke.json -families Fig6_AdaptiveSweep,Fig5_Profiles
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json to diff against (requires -diff)")
 	diffFile := flag.String("diff", "", "fresh BENCH_*.json to compare to -baseline (skips stdin conversion)")
 	regress := flag.Float64("regress", 10, "ns/op regression percentage that flips the diff exit code to 3")
+	families := flag.String("families", "", "comma-separated family filter for -diff (see familyOf); empty means all")
 	flag.Parse()
 
 	if *diffFile != "" || *baseline != "" {
@@ -46,7 +48,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -baseline and -diff must be given together")
 			os.Exit(1)
 		}
-		os.Exit(runDiff(*baseline, *diffFile, *regress))
+		os.Exit(runDiff(*baseline, *diffFile, *regress, familyFilter(*families)))
+	}
+	if *families != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -families only applies to -diff")
+		os.Exit(1)
 	}
 
 	var runs []Run
@@ -158,11 +164,31 @@ func familyOf(name string) string {
 	return strings.TrimPrefix(strings.SplitN(name, "/", 2)[0], "Benchmark")
 }
 
+// familyFilter parses the -families flag into a set keyed by family name;
+// nil means no filtering. Blank segments are dropped so trailing commas are
+// harmless.
+func familyFilter(spec string) map[string]bool {
+	if spec == "" {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, f := range strings.Split(spec, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			set[f] = true
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	return set
+}
+
 // runDiff compares fresh results against the committed baseline and returns
 // the process exit code: 0 when no ns/op regression exceeds the threshold,
 // 3 otherwise (missing benchmarks are reported but do not fail — the
-// baseline regenerates on the next refresh).
-func runDiff(basePath, freshPath string, regressPct float64) int {
+// baseline regenerates on the next refresh). A non-nil only set restricts
+// the comparison to benchmarks in those scenario families.
+func runDiff(basePath, freshPath string, regressPct float64, only map[string]bool) int {
 	base, _, err := loadRuns(basePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -179,7 +205,12 @@ func runDiff(basePath, freshPath string, regressPct float64) int {
 	var famOrder []string
 	worst := 0.0
 	fmt.Printf("%-64s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	matched := 0
 	for _, name := range order {
+		if only != nil && !only[familyOf(name)] {
+			continue
+		}
+		matched++
 		cur := fresh[name]
 		curNs := cur.Metrics["ns/op"]
 		ref, ok := base[name]
@@ -207,9 +238,18 @@ func runDiff(basePath, freshPath string, regressPct float64) int {
 		agg.cur += curNs
 	}
 	for name := range base {
+		if only != nil && !only[familyOf(name)] {
+			continue
+		}
 		if _, ok := fresh[name]; !ok {
 			fmt.Printf("%-64s %14s\n", name, "(missing from fresh run)")
 		}
+	}
+	if only != nil && matched == 0 {
+		// A filter that matches nothing is almost always a typo in a family
+		// name; succeeding silently would hide a regression from CI.
+		fmt.Fprintln(os.Stderr, "benchjson: -families matched no benchmarks in the fresh artifact")
+		return 1
 	}
 	fmt.Printf("\nper-family ns/op (summed over the family's benchmarks):\n")
 	for _, fam := range famOrder {

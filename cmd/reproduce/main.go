@@ -40,17 +40,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to reproduce: fig5, fig6, table1, timing, congestion or all")
-		outdir  = flag.String("outdir", "", "optional directory for matrix dumps (fig5)")
-		small   = flag.Bool("small", false, "use the reduced benchmark (fast smoke run, smaller effects)")
-		gridN   = flag.Int("grid", 40, "thermal grid resolution per side (the paper uses 40)")
-		cycles  = flag.Int("cycles", 128, "random simulation cycles for activity extraction")
-		seed    = flag.Int64("seed", 1, "random stimulus seed")
-		util    = flag.Float64("util", 0.85, "baseline placement utilization")
-		workers = flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential)")
-		precond = flag.String("precond", "auto", "thermal CG preconditioner: auto, mg or jacobi")
-		incr    = flag.Bool("incremental", false, "derive sweep points incrementally from the baseline (delta-driven pipeline; bit-identical output)")
-		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); Ctrl-C also cancels cleanly")
+		exp       = flag.String("exp", "all", "experiment to reproduce: fig5, fig6, table1, timing, congestion or all")
+		outdir    = flag.String("outdir", "", "optional directory for matrix dumps (fig5)")
+		small     = flag.Bool("small", false, "use the reduced benchmark (fast smoke run, smaller effects)")
+		gridN     = flag.Int("grid", 40, "thermal grid resolution per side (the paper uses 40)")
+		cycles    = flag.Int("cycles", 128, "random simulation cycles for activity extraction")
+		seed      = flag.Int64("seed", 1, "random stimulus seed")
+		util      = flag.Float64("util", 0.85, "baseline placement utilization")
+		workers   = flag.Int("workers", 0, "concurrent sweep points (0 = GOMAXPROCS, 1 = sequential)")
+		precond   = flag.String("precond", "auto", "thermal CG preconditioner: auto, mg or jacobi")
+		incr      = flag.Bool("incremental", false, "derive sweep points incrementally from the baseline (delta-driven pipeline; bit-identical output)")
+		adaptive  = flag.Bool("adaptive", false, "with fig6, run the two-phase multi-fidelity sweep: densify the overhead grid, triage candidates on coarse-grid estimates, measure only the estimated Pareto front exactly")
+		gridScale = flag.Int("grid-scale", 4, "with -adaptive, densification factor of the overhead grid")
+		margin    = flag.Float64("margin", 0.25, "with -adaptive, triage safety margin as a fraction of the estimated rise range")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); Ctrl-C also cancels cleanly")
 	)
 	flag.Parse()
 	pk, err := thermal.ParsePrecond(*precond)
@@ -58,6 +61,9 @@ func main() {
 		fatal(err)
 	}
 	sweepOpts := core.SweepOptions{Workers: *workers, Incremental: *incr}
+	if *adaptive {
+		sweepOpts.Adaptive = &core.AdaptiveOptions{GridScale: *gridScale, Margin: *margin}
+	}
 
 	// A SIGINT/SIGTERM (or the -timeout deadline) cancels the analysis
 	// pipeline cooperatively: the in-flight thermal solves abort within a few
@@ -180,12 +186,17 @@ func runFig6(ctx context.Context, f *flow.Flow, sweepOpts core.SweepOptions) {
 	opts := core.DefaultSweepOptions()
 	opts.Workers = sweepOpts.Workers
 	opts.Incremental = sweepOpts.Incremental
+	opts.Adaptive = sweepOpts.Adaptive
 	res, err := core.SweepEfficiencyCtx(ctx, f, opts)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("baseline: utilization %.2f, peak rise %.3f C, %d hotspots\n\n",
 		res.BaselineUtilization, res.Baseline.Thermal.PeakRise, len(res.Baseline.Hotspots))
+	if ts := res.Triage; ts != nil {
+		fmt.Printf("adaptive triage: %d/%d candidates pruned on coarse estimates (%d coarse + %d exact solves, max est err %.3f C)\n\n",
+			ts.Candidates-ts.Survivors, ts.Candidates, ts.CoarseSolves, ts.ExactSolves, ts.MaxEstErrC)
+	}
 	pareto := map[int]bool{}
 	for _, idx := range res.ParetoFront() {
 		pareto[idx] = true

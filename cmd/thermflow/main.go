@@ -59,6 +59,9 @@ func main() {
 		withSweep   = flag.Bool("sweep", false, "additionally run the Figure 6 efficiency sweep on this design/workload")
 		workers     = flag.Int("workers", 0, "concurrent sweep points with -sweep (0 = GOMAXPROCS, 1 = sequential)")
 		incr        = flag.Bool("incremental", false, "with -sweep, derive sweep points incrementally from the baseline (delta-driven pipeline; bit-identical output)")
+		adaptive    = flag.Bool("adaptive", false, "with -sweep, run the two-phase multi-fidelity sweep: densify the overhead grid, triage candidates on coarse-grid estimates, measure only the estimated Pareto front exactly")
+		gridScale   = flag.Int("grid-scale", 4, "with -adaptive, densification factor of the overhead grid")
+		margin      = flag.Float64("margin", 0.25, "with -adaptive, triage safety margin as a fraction of the estimated rise range")
 		timeout     = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); Ctrl-C also cancels cleanly")
 	)
 	flag.Parse()
@@ -153,15 +156,23 @@ func main() {
 	}
 
 	if *withSweep {
-		res, err := core.SweepEfficiencyCtx(ctx, f, core.SweepOptions{
+		sopts := core.SweepOptions{
 			Workers:     *workers,
 			Incremental: *incr,
-		})
+		}
+		if *adaptive {
+			sopts.Adaptive = &core.AdaptiveOptions{GridScale: *gridScale, Margin: *margin}
+		}
+		res, err := core.SweepEfficiencyCtx(ctx, f, sopts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("efficiency sweep  : baseline rise %.3f C, %d points\n",
 			res.Baseline.Thermal.PeakRise, len(res.Points))
+		if ts := res.Triage; ts != nil {
+			fmt.Printf("adaptive triage   : %d/%d candidates pruned on coarse estimates (%d coarse + %d exact solves, max est err %.3f C)\n",
+				ts.Candidates-ts.Survivors, ts.Candidates, ts.CoarseSolves, ts.ExactSolves, ts.MaxEstErrC)
+		}
 		pareto := map[int]bool{}
 		for _, idx := range res.ParetoFront() {
 			pareto[idx] = true

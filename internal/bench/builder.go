@@ -12,7 +12,7 @@
 package bench
 
 import (
-	"fmt"
+	"strconv"
 
 	"thermplace/internal/netlist"
 )
@@ -34,7 +34,7 @@ func newBuilder(d *netlist.Design, unit string, clk *netlist.Net) *builder {
 // newNet creates a fresh uniquely-named internal net for this unit.
 func (b *builder) newNet() *netlist.Net {
 	b.seq++
-	return b.d.GetOrCreateNet(fmt.Sprintf("%s_n%d", b.unit, b.seq))
+	return b.d.GetOrCreateNet(b.unit + "_n" + strconv.Itoa(b.seq))
 }
 
 // input creates (or returns) a primary input port net named after the unit.
@@ -68,7 +68,7 @@ func (b *builder) output(name string, net *netlist.Net) {
 func (b *builder) inputBus(name string, n int) []*netlist.Net {
 	out := make([]*netlist.Net, n)
 	for i := range out {
-		out[i] = b.input(fmt.Sprintf("%s%d", name, i))
+		out[i] = b.input(name + strconv.Itoa(i))
 	}
 	return out
 }
@@ -76,7 +76,7 @@ func (b *builder) inputBus(name string, n int) []*netlist.Net {
 // outputBus exposes the nets as primary outputs name[0..n-1].
 func (b *builder) outputBus(name string, nets []*netlist.Net) {
 	for i, n := range nets {
-		b.output(fmt.Sprintf("%s%d", name, i), n)
+		b.output(name+strconv.Itoa(i), n)
 	}
 }
 
@@ -84,7 +84,7 @@ func (b *builder) outputBus(name string, nets []*netlist.Net) {
 // net on pin Z (creating it when absent from conns).
 func (b *builder) gate(master string, conns map[string]*netlist.Net) *netlist.Net {
 	b.seq++
-	name := fmt.Sprintf("%s_g%d", b.unit, b.seq)
+	name := b.unit + "_g" + strconv.Itoa(b.seq)
 	inst, err := b.d.AddInstance(name, master, b.unit)
 	if err != nil {
 		panic(err)

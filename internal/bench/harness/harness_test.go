@@ -127,6 +127,20 @@ func TestHarnessFailsOnCorruptedTimingDelta(t *testing.T) {
 	}
 }
 
+// TestHarnessFailsOnCorruptedAdaptiveEstimates proves the
+// adaptive-front-exactness check bites: biased coarse estimates make the
+// triage drop true-front candidates, which must fail the run.
+func TestHarnessFailsOnCorruptedAdaptiveEstimates(t *testing.T) {
+	sc := bench.Scenario{Family: bench.FamilyHotspotCluster, Seed: 9, TargetCells: 1200}
+	_, err := Run(sc, Options{InjectAdaptiveBiasC: 1000, SkipDeterminism: true})
+	if err == nil {
+		t.Fatal("harness passed with corrupted adaptive estimates")
+	}
+	if !strings.Contains(err.Error(), "adaptive") {
+		t.Fatalf("corrupted adaptive estimates tripped the wrong check: %v", err)
+	}
+}
+
 // TestHarnessFailsOnCorruptedPlacement proves the legality check bites: a
 // cell knocked off the site grid must fail the run.
 func TestHarnessFailsOnCorruptedPlacement(t *testing.T) {

@@ -73,13 +73,23 @@ type Master struct {
 	// Filler marks dummy cells: no active transistors, zero power. They
 	// only guarantee power/ground rail continuity, exactly as in the paper.
 	Filler bool
+
+	// inputs caches the input pin names in declaration order. AddMaster
+	// populates it; Pins must not change afterwards. Masters built outside
+	// a Library (tests) leave it nil and Inputs falls back to a scan.
+	inputs []string
 }
 
 // Area returns the cell area in um^2 given the library row height.
 func (m *Master) Area(rowHeight float64) float64 { return m.Width * rowHeight }
 
-// Inputs returns the names of the input pins in declaration order.
+// Inputs returns the names of the input pins in declaration order. The
+// returned slice is shared (memoized by AddMaster); callers must not
+// mutate it.
 func (m *Master) Inputs() []string {
+	if m.inputs != nil {
+		return m.inputs
+	}
 	var in []string
 	for _, p := range m.Pins {
 		if p.Dir == Input {
@@ -172,6 +182,12 @@ func (l *Library) AddMaster(m *Master) error {
 	}
 	if m.Filler && (m.Leakage != 0 || m.SwitchEnergy != 0) {
 		return fmt.Errorf("celllib: filler master %q must have zero power", m.Name)
+	}
+	// Memoize the input pin list: simulation and timing walk Inputs once
+	// per instance visit, and recomputing it allocated tens of thousands
+	// of small slices per analysis on the paper benchmark.
+	if m.inputs == nil {
+		m.inputs = m.Inputs()
 	}
 	l.masters[m.Name] = m
 	return nil

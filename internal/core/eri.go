@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"thermplace/internal/floorplan"
 	"thermplace/internal/hotspot"
 	"thermplace/internal/place"
 )
@@ -50,18 +51,19 @@ func EmptyRowInsertionDelta(p *place.Placement, spots []hotspot.Hotspot, opts ER
 	return emptyRowInsertion(p, spots, opts, true)
 }
 
-func emptyRowInsertion(p *place.Placement, spots []hotspot.Hotspot, opts ERIOptions, record bool) (*place.Placement, *place.Delta, error) {
+// eriInsertionRows computes where EmptyRowInsertion would insert its empty
+// rows: the sorted original row indices (an insertion at index k means "a
+// new empty row appears below original row k", repeats allowed). It is the
+// geometry half of the transform, shared with the adaptive sweep's
+// coarse-fidelity estimator, which stretches the baseline power map through
+// exactly these insertion points without building the placement.
+func eriInsertionRows(fp *floorplan.Floorplan, spots []hotspot.Hotspot, opts ERIOptions) ([]int, error) {
 	if opts.Rows <= 0 {
-		return nil, nil, fmt.Errorf("core: ERI needs a positive row count, got %d", opts.Rows)
+		return nil, fmt.Errorf("core: ERI needs a positive row count, got %d", opts.Rows)
 	}
 	if len(spots) == 0 {
-		return nil, nil, fmt.Errorf("core: ERI needs at least one hotspot")
+		return nil, fmt.Errorf("core: ERI needs at least one hotspot")
 	}
-	out := p.Clone()
-	if record {
-		out.BeginDelta()
-	}
-	fp := out.FP
 
 	// Row span of each hotspot in the original floorplan.
 	type span struct{ lo, hi int }
@@ -91,8 +93,7 @@ func emptyRowInsertion(p *place.Placement, spots []hotspot.Hotspot, opts ERIOpti
 		assigned++
 	}
 
-	// Compute the insertion points (original row indices; an insertion at
-	// index k means "a new empty row appears below original row k").
+	// Compute the insertion points.
 	var insertions []int
 	for i, s := range spans {
 		n := budget[i]
@@ -118,6 +119,19 @@ func emptyRowInsertion(p *place.Placement, spots []hotspot.Hotspot, opts ERIOpti
 		}
 	}
 	sort.Ints(insertions)
+	return insertions, nil
+}
+
+func emptyRowInsertion(p *place.Placement, spots []hotspot.Hotspot, opts ERIOptions, record bool) (*place.Placement, *place.Delta, error) {
+	out := p.Clone()
+	fp := out.FP
+	insertions, err := eriInsertionRows(fp, spots, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if record {
+		out.BeginDelta()
+	}
 
 	// Stretch the floorplan. Insertions are applied from the highest index
 	// down so that previously computed (original-index) positions stay

@@ -31,6 +31,11 @@ type EfficiencyPoint struct {
 	Rows int
 	// Utilization is the placement utilization of this point.
 	Utilization float64
+	// Aspect is the core aspect ratio of this point's floorplan. The
+	// adaptive sweep sets it (its candidate grid has an aspect axis);
+	// classic sweeps leave it zero — every point uses the flow's configured
+	// aspect.
+	Aspect float64
 
 	// CriticalPathPs is the temperature-derated critical path of the point
 	// in picoseconds, and WorstSlackPs the slack against the flow's clock
@@ -91,6 +96,13 @@ type SweepOptions struct {
 	// skip thermal solves whose power map barely moved (an approximation —
 	// see the gate's documentation).
 	Incremental bool
+	// Adaptive, when non-nil, switches the sweep to the two-phase
+	// multi-fidelity mode (see AdaptiveOptions): a densified candidate grid
+	// is triaged with cheap coarse-fidelity estimates and only the
+	// estimated Pareto front (plus a safety margin) is re-run through the
+	// exact pipeline above. The returned points are exact; Triage records
+	// what the coarse phase did.
+	Adaptive *AdaptiveOptions
 }
 
 // DefaultSweepOptions reproduces the x-axis range of the paper's Figure 6:
@@ -110,7 +122,12 @@ type SweepResult struct {
 	BaselineUtilization float64
 	// Points are the measured efficiency points, grouped by strategy in the
 	// order Default, ERI, HW, each sorted by increasing area overhead.
+	// Every point is an exact measurement — an adaptive sweep never emits
+	// its coarse estimates as points.
 	Points []EfficiencyPoint
+	// Triage records what the coarse phase of an adaptive sweep did (nil
+	// for a classic sweep).
+	Triage *TriageStats
 }
 
 // coMetrics copies the co-analysis scalars of an analysis into the point
@@ -160,6 +177,35 @@ func (r *SweepResult) ParetoFront() []int {
 		dominated := false
 		for j := range r.Points {
 			if j != i && dominates(objectives(&r.Points[j]), oi) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// Front2D returns the indices into Points of the Pareto front restricted to
+// the adaptive sweep's two triage objectives — area overhead and peak
+// temperature rise — under the same weak-dominance semantics as
+// ParetoFront. It is the front the adaptive margin guarantee is stated on:
+// an adaptive run whose margin covers the coarse estimation error yields
+// the same Front2D point set as the exhaustive run over the same grid.
+func (r *SweepResult) Front2D() []int {
+	dominates := func(a, b *EfficiencyPoint) bool {
+		if a.AreaOverhead > b.AreaOverhead || a.PeakRise > b.PeakRise {
+			return false
+		}
+		return a.AreaOverhead < b.AreaOverhead || a.PeakRise < b.PeakRise
+	}
+	var front []int
+	for i := range r.Points {
+		dominated := false
+		for j := range r.Points {
+			if j != i && dominates(&r.Points[j], &r.Points[i]) {
 				dominated = true
 				break
 			}
@@ -237,6 +283,9 @@ func SweepEfficiencyCtx(ctx context.Context, f *flow.Flow, opts SweepOptions) (*
 		// Default only the overhead range; the caller's Workers, Strategies
 		// and retention settings stay in force.
 		opts.Overheads = DefaultSweepOptions().Overheads
+	}
+	if opts.Adaptive != nil {
+		return sweepAdaptive(ctx, f, opts)
 	}
 	baseUtil := f.Config.Utilization
 	baseline, err := f.AnalyzeBaselineCtx(ctx)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"testing"
 
@@ -297,5 +298,125 @@ func TestERIDeltaComposesWithDefaultDelta(t *testing.T) {
 	fromMerged := base.Power.Update(eriPl, merged)
 	if got, want := fromMerged.Total(), eriAn.Power.Total(); got != want {
 		t.Fatalf("merged-delta power %v != delta-updated power %v", got, want)
+	}
+}
+
+// TestParetoFrontDegenerateCases pins the front extraction on the shapes an
+// adaptive sweep can legitimately produce: duplicate measurements (ties stay
+// on the front), a single-point sweep, and a set where one point dominates
+// everything else. The cases are built directly on SweepResult, so they hold
+// for any producer of Points.
+func TestParetoFrontDegenerateCases(t *testing.T) {
+	pt := func(area, rise, crit, hpwl float64, over int) EfficiencyPoint {
+		return EfficiencyPoint{
+			AreaOverhead: area, PeakRise: rise,
+			CriticalPathPs: crit, HPWL: hpwl, CongestionOverflows: over,
+		}
+	}
+
+	t.Run("duplicates", func(t *testing.T) {
+		r := &SweepResult{Points: []EfficiencyPoint{
+			pt(0.1, 5, 100, 1000, 0),
+			pt(0.1, 5, 100, 1000, 0), // identical vector: a tie, not dominated
+			pt(0.2, 6, 110, 1100, 1), // strictly worse everywhere
+		}}
+		if got := r.ParetoFront(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+			t.Fatalf("ParetoFront with duplicates = %v, want [0 1]", got)
+		}
+		if got := r.Front2D(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+			t.Fatalf("Front2D with duplicates = %v, want [0 1]", got)
+		}
+	})
+
+	t.Run("single-point", func(t *testing.T) {
+		r := &SweepResult{Points: []EfficiencyPoint{pt(0.16, 4, 90, 900, 0)}}
+		if got := r.ParetoFront(); len(got) != 1 || got[0] != 0 {
+			t.Fatalf("single-point ParetoFront = %v", got)
+		}
+		if got := r.Front2D(); len(got) != 1 || got[0] != 0 {
+			t.Fatalf("single-point Front2D = %v", got)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		r := &SweepResult{}
+		if got := r.ParetoFront(); len(got) != 0 {
+			t.Fatalf("empty ParetoFront = %v", got)
+		}
+		if got := r.Front2D(); len(got) != 0 {
+			t.Fatalf("empty Front2D = %v", got)
+		}
+	})
+
+	t.Run("all-dominated", func(t *testing.T) {
+		r := &SweepResult{Points: []EfficiencyPoint{
+			pt(0.3, 9, 130, 1300, 2),
+			pt(0.2, 8, 120, 1200, 1),
+			pt(0.1, 5, 100, 1000, 0), // dominates everything above
+		}}
+		if got := r.ParetoFront(); len(got) != 1 || got[0] != 2 {
+			t.Fatalf("all-dominated ParetoFront = %v, want [2]", got)
+		}
+		if got := r.Front2D(); len(got) != 1 || got[0] != 2 {
+			t.Fatalf("all-dominated Front2D = %v, want [2]", got)
+		}
+	})
+
+	// Incomparable points (each better on one axis) all stay on the front.
+	t.Run("antichain", func(t *testing.T) {
+		r := &SweepResult{Points: []EfficiencyPoint{
+			pt(0.1, 9, 100, 1000, 0),
+			pt(0.2, 7, 100, 1000, 0),
+			pt(0.3, 5, 100, 1000, 0),
+		}}
+		if got := r.Front2D(); len(got) != 3 {
+			t.Fatalf("antichain Front2D = %v, want all three", got)
+		}
+	})
+}
+
+// TestAdaptiveTriageStatsNaNFree pins the NaN-free guarantee of the triage
+// statistics a real adaptive run attaches to its SweepResult: every recorded
+// scalar is finite and the fronts over the exact points are well defined.
+func TestAdaptiveTriageStatsNaNFree(t *testing.T) {
+	f := hotFlow(t, "mult8")
+	defer f.Close()
+	r, err := SweepEfficiency(f, SweepOptions{
+		Overheads:   []float64{0.05, 0.40},
+		Incremental: true,
+		Workers:     2,
+		Adaptive:    &AdaptiveOptions{GridScale: 2, Margin: 0.04, CoarseFactor: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := r.Triage
+	if ts == nil {
+		t.Fatal("adaptive run recorded no triage stats")
+	}
+	for name, v := range map[string]float64{
+		"Margin":     ts.Margin,
+		"MaxEstErrC": ts.MaxEstErrC,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("triage stat %s = %v, want finite", name, v)
+		}
+	}
+	for _, p := range r.Points {
+		for name, v := range map[string]float64{
+			"AreaOverhead": p.AreaOverhead, "PeakRise": p.PeakRise,
+			"TempReduction": p.TempReduction, "Utilization": p.Utilization,
+			"Aspect": p.Aspect,
+		} {
+			if math.IsNaN(v) {
+				t.Fatalf("point %+v has NaN %s", p, name)
+			}
+		}
+	}
+	if got := r.ParetoFront(); len(got) == 0 {
+		t.Fatal("adaptive result has an empty Pareto front")
+	}
+	if got := r.Front2D(); len(got) == 0 {
+		t.Fatal("adaptive result has an empty 2D front")
 	}
 }

@@ -1,0 +1,145 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"thermplace/internal/place"
+)
+
+// TestAnalyzeCoarse covers the low-fidelity analysis contract: the solve
+// runs on the downsampled grid, the co-analysis is skipped, and the
+// zero-delta no-op does not short-circuit a coarse request with an exact
+// parent.
+func TestAnalyzeCoarse(t *testing.T) {
+	f := smallFlow(t)
+	defer f.Close()
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := f.AnalyzeWith(base.Placement, AnalyzeOptions{
+		Parent:       base,
+		Delta:        new(place.Delta),
+		CoarseFactor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co == base {
+		t.Fatal("coarse request must not resolve to the exact parent via the zero-delta no-op")
+	}
+	wantNX, wantNY := (f.Config.Thermal.NX+1)/2, (f.Config.Thermal.NY+1)/2
+	if co.Thermal.Surface.NX != wantNX || co.Thermal.Surface.NY != wantNY {
+		t.Fatalf("coarse surface is %dx%d, want %dx%d",
+			co.Thermal.Surface.NX, co.Thermal.Surface.NY, wantNX, wantNY)
+	}
+	if co.PowerMap.NX != wantNX || co.PowerMap.NY != wantNY {
+		t.Fatalf("coarse power map binned at %dx%d, want %dx%d",
+			co.PowerMap.NX, co.PowerMap.NY, wantNX, wantNY)
+	}
+	if co.Timing != nil || co.Congestion != nil || co.HPWL != 0 {
+		t.Fatal("coarse analysis must skip the timing/congestion co-analysis")
+	}
+	// Power is conserved by the coarser binning, so the estimate tracks the
+	// exact rise: the margin the adaptive sweep covers, not a free-for-all.
+	if co.PeakRise() <= 0 {
+		t.Fatal("coarse analysis lost the temperature rise")
+	}
+	if rel := math.Abs(co.PeakRise()-base.PeakRise()) / base.PeakRise(); rel > 0.5 {
+		t.Fatalf("coarse peak rise %g vs exact %g: %.0f%% off", co.PeakRise(), base.PeakRise(), rel*100)
+	}
+}
+
+// TestAnalyzeCoarseDeterministic pins that a coarse analysis does not
+// depend on what the pooled solvers computed before — not on an exact solve
+// that warmed the pool, and not on a previous coarse solve.
+func TestAnalyzeCoarseDeterministic(t *testing.T) {
+	f := smallFlow(t)
+	defer f.Close()
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := AnalyzeOptions{Parent: base, Delta: new(place.Delta), CoarseFactor: 2}
+	first, err := f.AnalyzeWith(base.Placement, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave an exact solve, then repeat the coarse one.
+	if _, err := f.Analyze(base.Placement); err != nil {
+		t.Fatal(err)
+	}
+	second, err := f.AnalyzeWith(base.Placement, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range first.Thermal.Surface.Values() {
+		if second.Thermal.Surface.Values()[i] != v {
+			t.Fatalf("coarse cell %d drifted between runs: %g vs %g",
+				i, v, second.Thermal.Surface.Values()[i])
+		}
+	}
+}
+
+// TestSolverPoolsCoexist pins the multi-pool behaviour the adaptive sweep
+// relies on: interleaving coarse and exact analyses keeps both assembled
+// solvers alive, and the exact answer is bit-identical before and after
+// coarse solves ran through the flow.
+func TestSolverPoolsCoexist(t *testing.T) {
+	f := smallFlow(t)
+	defer f.Close()
+	base, err := f.AnalyzeBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactBefore := base.PeakRise()
+	for i := 0; i < 3; i++ {
+		if _, err := f.AnalyzeWith(base.Placement, AnalyzeOptions{CoarseFactor: 4}); err != nil {
+			t.Fatalf("coarse round %d: %v", i, err)
+		}
+		an, err := f.Analyze(base.Placement)
+		if err != nil {
+			t.Fatalf("exact round %d: %v", i, err)
+		}
+		if an.PeakRise() != exactBefore {
+			t.Fatalf("exact peak rise drifted after coarse interleave: %g vs %g",
+				an.PeakRise(), exactBefore)
+		}
+	}
+	f.mu.Lock()
+	pools := len(f.pools)
+	f.mu.Unlock()
+	if pools != 2 {
+		t.Fatalf("expected 2 live solver pools (coarse + exact), have %d", pools)
+	}
+}
+
+// TestPlaceAtAspect checks the explicit-aspect placement entry point: the
+// configured-aspect call stays bit-identical to PlaceAt, and a different
+// aspect reshapes the core without touching the shared Config.
+func TestPlaceAtAspect(t *testing.T) {
+	f := smallFlow(t)
+	p1, err := f.PlaceAt(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := f.PlaceAtAspect(0.7, f.Config.AspectRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.FP.Core != p2.FP.Core {
+		t.Fatalf("PlaceAtAspect at the configured aspect diverged: %v vs %v", p1.FP.Core, p2.FP.Core)
+	}
+	tall, err := f.PlaceAtAspect(0.7, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := tall.FP.Core.Xhi-tall.FP.Core.Xlo, tall.FP.Core.Yhi-tall.FP.Core.Ylo
+	if h <= w {
+		t.Fatalf("aspect 2.0 core should be taller than wide, got %gx%g", w, h)
+	}
+	if f.Config.AspectRatio != 1.0 {
+		t.Fatal("PlaceAtAspect mutated the shared Config")
+	}
+}

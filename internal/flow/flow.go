@@ -167,16 +167,13 @@ type Flow struct {
 	baseAnKey     analysisKey
 	baseAnThermal thermal.Config
 
-	// solvers holds the idle pooled thermal solvers for solverCfg; seed is
-	// the temperature field of the first completed fast-path solve (tagged
-	// seedID), the default warm start for analyses without a lineage
-	// parent. Each pooled solver remembers which analysis' field it holds
-	// (stateID), so a child solve seeded from the analysis its solver just
-	// produced skips the seed copy.
-	solvers   []pooledSolver
-	solverCfg thermal.Config
-	seed      []float64
-	seedID    uint64
+	// pools holds one solver pool per distinct thermal configuration seen
+	// recently (most recently used first, capped at maxSolverPools). The
+	// adaptive sweep interleaves coarse-fidelity triage solves with exact
+	// refinement solves; separate pools keyed by thermal.Config.Equal keep
+	// both sets of assembled systems alive instead of rebuilding the
+	// hierarchy on every fidelity switch.
+	pools []*solverPool
 
 	// ta is the cached timing analyzer of the design (levelized graph and
 	// endpoint set, placement-independent), built on the first co-analysis;
@@ -208,6 +205,31 @@ type pooledSolver struct {
 	s       *thermal.Solver
 	stateID uint64
 }
+
+// solverPool holds the idle pooled solvers for one thermal configuration,
+// plus the fixed warm-start seed recorded from the first completed solve at
+// that configuration — the default seed for analyses without a lineage
+// parent of matching fidelity. Its fields are guarded by the flow mutex.
+type solverPool struct {
+	cfg     thermal.Config // snapshot; Stack is a private copy
+	solvers []pooledSolver
+	seed    []float64
+	seedID  uint64
+}
+
+func (pl *solverPool) defaultSeedLocked() *lineageSeed {
+	if pl.seed == nil {
+		return nil
+	}
+	return &lineageSeed{field: pl.seed, id: pl.seedID}
+}
+
+// maxSolverPools bounds how many thermal configurations keep live solver
+// pools at once. The adaptive sweep needs exactly two (coarse triage +
+// exact refinement); the cap evicts the least recently used pool beyond
+// that, so a config-churning caller cannot accumulate assembled multigrid
+// hierarchies without bound.
+const maxSolverPools = 4
 
 // analysisKey captures the comparable Config knobs that shape a baseline
 // analysis (the thermal config is snapshotted and compared separately —
@@ -246,7 +268,9 @@ func (f *Flow) Activity() (*logicsim.Activity, error) {
 		return f.activity, nil
 	}
 	stim := logicsim.RandomStimulus(f.Config.Seed, func(port string) float64 {
-		unit := strings.SplitN(port, "_", 2)[0]
+		// strings.Cut instead of SplitN: same unit prefix, no slice
+		// allocation per (port, cycle) lookup.
+		unit, _, _ := strings.Cut(port, "_")
 		return f.Workload.ActivityFor(unit)
 	})
 	act, err := logicsim.RunRandom(f.Design, f.Config.SimCycles, stim)
@@ -260,9 +284,16 @@ func (f *Flow) Activity() (*logicsim.Activity, error) {
 // PlaceAt builds a floorplan at the given utilization and places the design
 // into it (the "Logic and Physical Synthesis" box of the paper's flow).
 func (f *Flow) PlaceAt(utilization float64) (*place.Placement, error) {
+	return f.PlaceAtAspect(utilization, f.Config.AspectRatio)
+}
+
+// PlaceAtAspect is PlaceAt with an explicit core aspect ratio instead of
+// the configured one — the adaptive sweep's aspect axis places candidate
+// floorplans through it without mutating the shared flow Config.
+func (f *Flow) PlaceAtAspect(utilization, aspect float64) (*place.Placement, error) {
 	fp, err := floorplan.New(f.Design, floorplan.Config{
 		Utilization: utilization,
-		AspectRatio: f.Config.AspectRatio,
+		AspectRatio: aspect,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("flow: floorplanning at %.2f utilization: %w", utilization, err)
@@ -326,13 +357,14 @@ type lineageSeed struct {
 // oracle/non-CG configurations. Each concurrent caller checks out its own
 // solver (growing the pool on demand) and every solve after the first is
 // warm-started from a fixed seed — the caller's lineage parent when given,
-// the recorded first-solve (baseline) field otherwise — so the result of a
-// solve depends only on its own inputs, not on which pooled solver ran it
-// or what that solver computed before. The pool is LIFO and every solver
-// remembers which analysis' field it holds, so a Default→HW task chain
-// typically checks out the solver that just produced its parent's field
-// and skips the seed copy. The pool is invalidated when the thermal
-// configuration changes.
+// the pool's recorded first-solve (baseline) field otherwise — so the
+// result of a solve depends only on its own inputs, not on which pooled
+// solver ran it or what that solver computed before. A lineage seed of the
+// wrong fidelity (a coarse analysis handed an exact parent, or the
+// reverse) is ignored in favour of the pool's own default rather than
+// erroring. Each pool is LIFO and every solver remembers which analysis'
+// field it holds, so a Default→HW task chain typically checks out the
+// solver that just produced its parent's field and skips the seed copy.
 //
 // On success it returns the solved temperature field (a copy, in solver
 // node order) and its identity tag, for the caller to hand to child
@@ -349,11 +381,11 @@ func (f *Flow) thermalSolve(ctx context.Context, pm *geom.Grid, tcfg thermal.Con
 		res, err := thermal.SolveCtx(ctx, pm, tcfg)
 		return res, nil, 0, err
 	}
-	ps, defSeed, err := f.acquireSolver(tcfg)
+	ps, defSeed, pool, err := f.acquireSolver(tcfg)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	if seed == nil {
+	if seed == nil || len(seed.field) != ps.s.Unknowns() {
 		seed = defSeed
 	}
 	if seed != nil && (seed.id == 0 || seed.id != ps.stateID) {
@@ -374,69 +406,86 @@ func (f *Flow) thermalSolve(ctx context.Context, pm *geom.Grid, tcfg thermal.Con
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if !f.solverCfg.Equal(tcfg) {
-		// The configuration changed while we were solving; this solver's
-		// pool is gone. Drop the solver rather than re-pooling it.
+	if !f.poolLiveLocked(pool) {
+		// The pool was evicted while we were solving. Drop the solver
+		// rather than re-pooling it into a dead pool.
 		ps.s.Close()
 		return res, state, stateID, err
 	}
-	if err == nil && f.seed == nil {
-		f.seed = state
-		f.seedID = stateID
+	if err == nil && pool.seed == nil {
+		pool.seed = state
+		pool.seedID = stateID
 	}
-	f.solvers = append(f.solvers, ps)
+	pool.solvers = append(pool.solvers, ps)
 	return res, state, stateID, err
 }
 
-// acquireSolver checks a solver for tcfg out of the pool, rebuilding the
-// pool when the thermal configuration changed, and returns the default
-// warm-start seed (nil before the first completed solve). Solver
-// construction (stencil, multigrid hierarchy, Cholesky buffer) happens
-// outside the flow mutex so concurrent pool growth does not serialize the
-// other workers.
-func (f *Flow) acquireSolver(tcfg thermal.Config) (pooledSolver, *lineageSeed, error) {
+// acquireSolver checks a solver for tcfg out of its configuration's pool,
+// creating the pool on first use, and returns the pool's default warm-start
+// seed (nil before its first completed solve) plus the pool itself, for the
+// caller to return the solver to. Solver construction (stencil, multigrid
+// hierarchy, Cholesky buffer) happens outside the flow mutex so concurrent
+// pool growth does not serialize the other workers.
+func (f *Flow) acquireSolver(tcfg thermal.Config) (pooledSolver, *lineageSeed, *solverPool, error) {
 	f.mu.Lock()
-	if !f.solverCfg.Equal(tcfg) {
-		for _, ps := range f.solvers {
-			ps.s.Close()
-		}
-		f.solvers = nil
-		f.seed = nil
-		f.seedID = 0
-		f.solverCfg = tcfg
-		// Snapshot the stack: tcfg.Stack aliases the caller's slice, and
-		// Equal must detect in-place layer mutations against the state the
-		// solvers were actually built from.
-		f.solverCfg.Stack = append(thermal.Stack(nil), tcfg.Stack...)
-	}
-	seed := f.defaultSeedLocked()
-	if n := len(f.solvers); n > 0 {
-		ps := f.solvers[n-1]
-		f.solvers = f.solvers[:n-1]
+	pool := f.poolForLocked(tcfg)
+	seed := pool.defaultSeedLocked()
+	if n := len(pool.solvers); n > 0 {
+		ps := pool.solvers[n-1]
+		pool.solvers = pool.solvers[:n-1]
 		f.mu.Unlock()
-		return ps, seed, nil
+		return ps, seed, pool, nil
 	}
 	f.mu.Unlock()
 
 	s, err := thermal.NewSolver(tcfg)
 	if err != nil {
-		return pooledSolver{}, nil, err
+		return pooledSolver{}, nil, nil, err
 	}
 	// Re-read the seed: another worker may have published it while this
 	// solver was being built.
 	f.mu.Lock()
-	if f.solverCfg.Equal(tcfg) {
-		seed = f.defaultSeedLocked()
-	}
+	seed = pool.defaultSeedLocked()
 	f.mu.Unlock()
-	return pooledSolver{s: s}, seed, nil
+	return pooledSolver{s: s}, seed, pool, nil
 }
 
-func (f *Flow) defaultSeedLocked() *lineageSeed {
-	if f.seed == nil {
-		return nil
+// poolForLocked returns the solver pool for tcfg, moving it to the front of
+// the most-recently-used list and creating it when absent; the least
+// recently used pool beyond maxSolverPools is closed and dropped.
+func (f *Flow) poolForLocked(tcfg thermal.Config) *solverPool {
+	for i, pl := range f.pools {
+		if pl.cfg.Equal(tcfg) {
+			copy(f.pools[1:i+1], f.pools[:i])
+			f.pools[0] = pl
+			return pl
+		}
 	}
-	return &lineageSeed{field: f.seed, id: f.seedID}
+	pl := &solverPool{cfg: tcfg}
+	// Snapshot the stack: tcfg.Stack aliases the caller's slice, and Equal
+	// must detect in-place layer mutations against the state the solvers
+	// were actually built from.
+	pl.cfg.Stack = append(thermal.Stack(nil), tcfg.Stack...)
+	f.pools = append([]*solverPool{pl}, f.pools...)
+	for len(f.pools) > maxSolverPools {
+		last := f.pools[len(f.pools)-1]
+		for _, ps := range last.solvers {
+			ps.s.Close()
+		}
+		f.pools = f.pools[:len(f.pools)-1]
+	}
+	return pl
+}
+
+// poolLiveLocked reports whether the pool is still in the flow's pool list
+// (it may have been evicted or Closed while a solver was checked out).
+func (f *Flow) poolLiveLocked(pool *solverPool) bool {
+	for _, pl := range f.pools {
+		if pl == pool {
+			return true
+		}
+	}
+	return false
 }
 
 // GateSkips returns how many thermal solves the power-delta gate
@@ -448,13 +497,12 @@ func (f *Flow) GateSkips() int { return int(f.gateSkips.Load()) }
 func (f *Flow) Close() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for _, ps := range f.solvers {
-		ps.s.Close()
+	for _, pl := range f.pools {
+		for _, ps := range pl.solvers {
+			ps.s.Close()
+		}
 	}
-	f.solvers = nil
-	f.seed = nil
-	f.seedID = 0
-	f.solverCfg = thermal.Config{}
+	f.pools = nil
 }
 
 // Analysis is the full measurement of one placement.
@@ -545,6 +593,19 @@ type AnalyzeOptions struct {
 	// nil delta re-estimates from scratch. An empty delta on the parent's
 	// own placement returns the parent analysis unchanged.
 	Delta *place.Delta
+	// CoarseFactor, when 2 or larger, runs this one analysis at low
+	// fidelity: the power map is binned directly at the downsampled grid
+	// resolution (thermal.Config.GridDims), the thermal system is assembled
+	// and solved at that resolution, hotspots are detected on the coarse
+	// rise map, and the timing/congestion co-analysis is skipped — the
+	// result carries only the cheap fields, like an analysis after
+	// ReleaseHeavy (Timing, Congestion and HPWL stay zero). This is the
+	// triage fidelity of the adaptive sweep: a fast estimate, not a
+	// bit-identical measurement; exact reruns leave CoarseFactor zero. A
+	// lineage Parent of a different fidelity still provides the power
+	// report for the delta path but its temperature field is not used as a
+	// warm-start seed (the resolutions differ).
+	CoarseFactor int
 }
 
 // Analyze runs power estimation and thermal simulation on the placement and
@@ -582,8 +643,11 @@ func (f *Flow) AnalyzeWith(p *place.Placement, opts AnalyzeOptions) (*Analysis, 
 
 // AnalyzeWithCtx is AnalyzeWith with cancellation (see AnalyzeCtx).
 func (f *Flow) AnalyzeWithCtx(ctx context.Context, p *place.Placement, opts AnalyzeOptions) (*Analysis, error) {
-	if par := opts.Parent; par != nil && opts.Delta != nil && opts.Delta.Empty() && par.Placement == p {
-		// Zero-delta no-op: the parent already measured this placement.
+	if par := opts.Parent; par != nil && opts.Delta != nil && opts.Delta.Empty() && par.Placement == p &&
+		opts.CoarseFactor < 2 {
+		// Zero-delta no-op: the parent already measured this placement. A
+		// coarse request must still run — the parent was measured at the
+		// flow's configured fidelity, not the requested one.
 		return par, nil
 	}
 	if in := f.Config.Thermal.Inject; in.StallAnalyze(in.NextAnalyze()) {
@@ -607,7 +671,15 @@ func (f *Flow) AnalyzeWithCtx(ctx context.Context, p *place.Placement, opts Anal
 		rep = est.Report(p)
 	}
 	tcfg := f.Config.Thermal
-	pm := power.Map(rep, p, tcfg.NX, tcfg.NY)
+	if opts.CoarseFactor >= 2 {
+		tcfg.CoarseFactor = opts.CoarseFactor
+	}
+	// Bin the power map directly at the solver's effective resolution: at
+	// full fidelity that is NX x NY as always; at low fidelity the coarse
+	// cells are filled in one pass instead of binning finely and
+	// restricting (the solver accepts either).
+	pmNX, pmNY := tcfg.GridDims()
+	pm := power.Map(rep, p, pmNX, pmNY)
 	tcfg.Inject.CorruptPower(pm.Values())
 	if err := validatePowerMap(pm); err != nil {
 		return nil, err
@@ -711,7 +783,10 @@ func (f *Flow) timingOptions(tres *thermal.Result) timing.Options {
 // the full propagation, which is bit-identical to a from-scratch
 // timing.Analyze by construction (same cached graph, same operation order).
 func (f *Flow) coAnalyze(an *Analysis, opts AnalyzeOptions) error {
-	if !f.Config.CoAnalysis {
+	if !f.Config.CoAnalysis || opts.CoarseFactor >= 2 {
+		// Low-fidelity analyses skip the co-analysis entirely: triage only
+		// consumes area and peak rise, and STA/congestion would dominate
+		// the cost of a coarse solve.
 		return nil
 	}
 	ta, err := f.timingAnalyzer()

@@ -31,6 +31,13 @@ const (
 	KindSweep Kind = "sweep"
 )
 
+// serveAdaptiveMargin is the triage margin of adaptive sweep queries, as a
+// fraction of the estimated rise range. The server favours front safety over
+// triage aggressiveness: the margin comfortably exceeds the calibrated
+// coarse-estimate error observed across the scenario families, so the served
+// front is the exact front for any resident design.
+const serveAdaptiveMargin = 0.25
+
 // Query is one parsed what-if question against a resident design. Its
 // canonical form (Key) is the cache key: two requests that parse to the same
 // Query are interchangeable.
@@ -47,6 +54,14 @@ type Query struct {
 	// Overheads are the sweep overheads (KindSweep; empty uses the paper's
 	// Figure 6 range), kept sorted so equivalent sweeps share a cache key.
 	Overheads []float64
+	// Adaptive selects the two-phase multi-fidelity sweep (KindSweep): the
+	// overhead axis is densified GridScale times, candidates are triaged on
+	// coarse-grid estimates and only the estimated Pareto front is measured
+	// exactly. Every returned point is still an exact measurement.
+	Adaptive bool
+	// GridScale is the adaptive densification factor (KindSweep with
+	// Adaptive; zero selects 3).
+	GridScale int
 	// Full requests the solved surface temperature map in the response.
 	Full bool
 }
@@ -72,6 +87,9 @@ func (q Query) Key() string {
 				b.WriteByte(',')
 			}
 			b.WriteString(ff(ov))
+		}
+		if q.Adaptive {
+			b.WriteString("&adaptive=1&scale=" + strconv.Itoa(q.GridScale))
 		}
 	}
 	if q.Full {
@@ -139,6 +157,23 @@ func ParseQuery(kind Kind, vals url.Values) (Query, error) {
 			}
 			q.Overheads = sortedOverheads(q.Overheads)
 		}
+		if s := vals.Get("adaptive"); s != "" {
+			adaptive, err := strconv.ParseBool(s)
+			if err != nil {
+				return badReq("parameter adaptive=%q: not a boolean", s)
+			}
+			q.Adaptive = adaptive
+		}
+		if s := vals.Get("grid_scale"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 1 {
+				return badReq("parameter grid_scale=%q: not a positive integer", s)
+			}
+			if !q.Adaptive {
+				return badReq("grid_scale requires adaptive=1")
+			}
+			q.GridScale = n
+		}
 	default:
 		return badReq("unknown query kind %q", kind)
 	}
@@ -169,6 +204,9 @@ type SweepPoint struct {
 	PeakRiseK     float64 `json:"peak_rise_k"`
 	Rows          int     `json:"rows,omitempty"`
 	Utilization   float64 `json:"utilization"`
+	// Aspect is the floorplan aspect ratio the point was placed at (adaptive
+	// sweeps; zero means the flow's configured aspect).
+	Aspect float64 `json:"aspect,omitempty"`
 
 	// Co-analysis metrics: temperature-derated timing and routing congestion
 	// measured at this point's placement and solved thermal field.
@@ -180,6 +218,18 @@ type SweepPoint struct {
 	// Pareto marks points on the multi-objective Pareto front over
 	// (area overhead, peak rise, critical path, HPWL, overflows).
 	Pareto bool `json:"pareto,omitempty"`
+}
+
+// TriageSummary is the JSON form of an adaptive sweep's triage statistics:
+// how many candidates the coarse phase enumerated, how many survived to the
+// exact phase, and what each phase cost in solver work.
+type TriageSummary struct {
+	Candidates   int     `json:"candidates"`
+	Survivors    int     `json:"survivors"`
+	Anchors      int     `json:"anchors"`
+	CoarseSolves int     `json:"coarse_solves"`
+	ExactSolves  int     `json:"exact_solves"`
+	MaxEstErrK   float64 `json:"max_est_err_k"`
 }
 
 // Result is the JSON response of a completed query. Float64 values survive
@@ -215,6 +265,8 @@ type Result struct {
 
 	Hotspots []HotspotSummary `json:"hotspots,omitempty"`
 	Points   []SweepPoint     `json:"points,omitempty"`
+	// Triage summarizes the coarse-grid triage of an adaptive sweep.
+	Triage *TriageSummary `json:"triage,omitempty"`
 	// Surface is the solved surface temperature-rise map in kelvin, row-major
 	// [ny][nx] (present when the query asked full=1).
 	Surface [][]float64 `json:"surface,omitempty"`
@@ -342,11 +394,23 @@ func Exec(ctx context.Context, f *flow.Flow, q Query) (*Result, int64, error) {
 		// Workers: 1 — the server's concurrency unit is the query, and the
 		// admission controller's in-flight bound must bound solver work; a
 		// sweep fanning out internally would break that accounting.
-		sres, err := core.SweepEfficiencyCtx(ctx, f, core.SweepOptions{
+		sopts := core.SweepOptions{
 			Overheads:   q.Overheads,
 			Workers:     1,
 			Incremental: true,
-		})
+		}
+		if q.Adaptive {
+			scale := q.GridScale
+			if scale == 0 {
+				scale = 3
+			}
+			sopts.Adaptive = &core.AdaptiveOptions{
+				GridScale:    scale,
+				Margin:       serveAdaptiveMargin,
+				CoarseFactor: 2,
+			}
+		}
+		sres, err := core.SweepEfficiencyCtx(ctx, f, sopts)
 		if err != nil {
 			return nil, 0, fmt.Errorf("serve: sweep: %w", err)
 		}
@@ -374,6 +438,7 @@ func Exec(ctx context.Context, f *flow.Flow, q Query) (*Result, int64, error) {
 				PeakRiseK:           pt.PeakRise,
 				Rows:                pt.Rows,
 				Utilization:         pt.Utilization,
+				Aspect:              pt.Aspect,
 				CriticalPathPs:      pt.CriticalPathPs,
 				WorstSlackPs:        pt.WorstSlackPs,
 				HPWLUm:              pt.HPWL,
@@ -381,6 +446,16 @@ func Exec(ctx context.Context, f *flow.Flow, q Query) (*Result, int64, error) {
 				CongestionMaxUtil:   pt.CongestionMaxUtil,
 				Pareto:              pareto[i],
 			})
+		}
+		if ts := sres.Triage; ts != nil {
+			res.Triage = &TriageSummary{
+				Candidates:   ts.Candidates,
+				Survivors:    ts.Survivors,
+				Anchors:      ts.Anchors,
+				CoarseSolves: ts.CoarseSolves,
+				ExactSolves:  ts.ExactSolves,
+				MaxEstErrK:   ts.MaxEstErrC,
+			}
 		}
 		// No analyses are retained (KeepAnalyses false): charge a flat
 		// summary cost instead of solver-state bytes.

@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thermplace/internal/bench"
@@ -136,6 +137,13 @@ type design struct {
 	baseWorstSlackPs float64
 	baseHPWL         float64
 	baseOverflows    int
+
+	// Adaptive-sweep triage counters, accumulated across freshly computed
+	// (non-cached) adaptive sweep queries and reported on /statz.
+	adaptiveSweeps     atomic.Int64
+	adaptiveCandidates atomic.Int64
+	adaptiveTriaged    atomic.Int64
+	adaptiveExact      atomic.Int64
 
 	// fallbackOnce builds the Jacobi fallback flow on the breaker's first
 	// open; flow.New is infallible (solvers are built on first solve), so

@@ -271,6 +271,18 @@ func TestQueryParseAndKey(t *testing.T) {
 	if q1.Key() != q2.Key() {
 		t.Fatalf("permuted sweeps got different keys: %q vs %q", q1.Key(), q2.Key())
 	}
+	// Adaptive sweeps key separately from exhaustive ones over the same
+	// overheads: they enumerate a different candidate grid.
+	qa, err := ParseQuery(KindSweep, url.Values{"overheads": {"0.05,0.2"}, "adaptive": {"1"}, "grid_scale": {"4"}})
+	if err != nil {
+		t.Fatalf("parse adaptive sweep: %v", err)
+	}
+	if qa.Key() == q2.Key() {
+		t.Fatalf("adaptive sweep shares key with exhaustive: %q", qa.Key())
+	}
+	if !qa.Adaptive || qa.GridScale != 4 {
+		t.Fatalf("adaptive params lost in parse: %+v", qa)
+	}
 	bad := []struct {
 		kind Kind
 		vals url.Values
@@ -281,6 +293,9 @@ func TestQueryParseAndKey(t *testing.T) {
 		{KindERI, url.Values{"rows": {"-1"}}},
 		{KindHW, url.Values{"overhead": {"0"}}},
 		{KindSweep, url.Values{"overheads": {"0.1,bogus"}}},
+		{KindSweep, url.Values{"adaptive": {"maybe"}}},
+		{KindSweep, url.Values{"adaptive": {"1"}, "grid_scale": {"0"}}},
+		{KindSweep, url.Values{"grid_scale": {"3"}}},
 		{Kind("mystery"), url.Values{}},
 	}
 	for _, c := range bad {
@@ -291,6 +306,83 @@ func TestQueryParseAndKey(t *testing.T) {
 		if _, err := ParseQuery(c.kind, c.vals); !errors.As(err, &hse) || hse.status != http.StatusBadRequest {
 			t.Fatalf("ParseQuery(%s, %v) error not a 400: %v", c.kind, c.vals, err)
 		}
+	}
+}
+
+// TestServerAdaptiveSweep runs the two-phase multi-fidelity sweep through the
+// HTTP path: the response must be bit-identical to a direct Exec of the same
+// query, carry triage statistics, and fold them into /statz — once, because
+// the repeat request is a cache hit that did no triage work.
+func TestServerAdaptiveSweep(t *testing.T) {
+	gen, cfg := testDesign(t)
+	srv := NewServer(Config{})
+	if err := srv.AddDesign(context.Background(), "d", gen.Design, gen.Workload, cfg, nil); err != nil {
+		t.Fatalf("AddDesign: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ref := flow.New(gen.Design, gen.Workload, cfg)
+	defer ref.Close()
+	q, err := ParseQuery(KindSweep, url.Values{"overheads": {"0.1,0.3"}, "adaptive": {"1"}, "grid_scale": {"2"}})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want, _, err := Exec(context.Background(), ref, q)
+	if err != nil {
+		t.Fatalf("reference Exec: %v", err)
+	}
+
+	var got Result
+	url := ts.URL + "/sweep?design=d&overheads=0.1,0.3&adaptive=1&grid_scale=2"
+	if code, _ := getJSON(t, ts.Client(), url, &got); code != http.StatusOK {
+		t.Fatalf("adaptive sweep status %d: %+v", code, got)
+	}
+	if got.Triage == nil {
+		t.Fatal("adaptive sweep response carries no triage summary")
+	}
+	tr := got.Triage
+	if tr.Candidates <= 0 || tr.Survivors <= 0 || tr.Survivors > tr.Candidates ||
+		tr.ExactSolves <= 0 || tr.CoarseSolves <= 0 {
+		t.Fatalf("triage summary implausible: %+v", tr)
+	}
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("served %d points, direct Exec %d", len(got.Points), len(want.Points))
+	}
+	for i, pt := range got.Points {
+		if pt != want.Points[i] {
+			t.Fatalf("served point %d differs from direct Exec:\n got %+v\nwant %+v", i, pt, want.Points[i])
+		}
+	}
+	sawAspect := false
+	for _, pt := range got.Points {
+		if pt.Aspect > 0 {
+			sawAspect = true
+		}
+	}
+	if !sawAspect {
+		t.Fatal("adaptive sweep points carry no aspect ratio")
+	}
+
+	// Repeat query: cache hit, same answer, no new triage work.
+	var hit Result
+	if code, _ := getJSON(t, ts.Client(), url, &hit); code != http.StatusOK || !hit.Cached {
+		t.Fatalf("repeat adaptive sweep not cached (status %d, cached %v)", code, hit.Cached)
+	}
+
+	var stz StatzResponse
+	if code, _ := getJSON(t, ts.Client(), ts.URL+"/statz", &stz); code != http.StatusOK {
+		t.Fatalf("statz status %d", code)
+	}
+	ds := stz.Designs[0]
+	if ds.AdaptiveSweeps != 1 {
+		t.Fatalf("adaptive_sweeps = %d after one fresh + one cached query", ds.AdaptiveSweeps)
+	}
+	if ds.AdaptiveCandidates != int64(tr.Candidates) ||
+		ds.AdaptiveTriaged != int64(tr.Candidates-tr.Survivors) ||
+		ds.AdaptiveExact != int64(tr.ExactSolves) {
+		t.Fatalf("statz triage counters %+v disagree with response summary %+v", ds, tr)
 	}
 }
 

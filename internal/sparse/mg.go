@@ -248,6 +248,42 @@ func newMGLevel(m *SymCSR, nx, ny, nl int) *mgLevel {
 	return lv
 }
 
+// Aggregate returns the piecewise-constant aggregation map from a fine
+// nx-by-ny-by-nl grid onto a coarse cnx-by-cny grid with the same nl layers:
+// out[i] is the coarse node of fine node i, both in the (l*ny+iy)*nx + ix
+// layout of NewStencil7. Fine cell ix lands in coarse cell ix*cnx/nx (the
+// proportional map), which for cnx = ceil(nx/2) is exactly the 2x-coarsened
+// aggregate map of the MG hierarchy — MG's buildCoarsening and the thermal
+// solver's CoarseFactor power-map restriction both go through it, so a
+// downsampled operator and the hierarchy's own coarse levels agree on which
+// fine cells pool together.
+func Aggregate(nx, ny, nl, cnx, cny int) []int32 {
+	parent := make([]int32, nx*ny*nl)
+	for l := 0; l < nl; l++ {
+		for iy := 0; iy < ny; iy++ {
+			ciy := iy * cny / ny
+			for ix := 0; ix < nx; ix++ {
+				parent[(l*ny+iy)*nx+ix] = int32((l*cny+ciy)*cnx + ix*cnx/nx)
+			}
+		}
+	}
+	return parent
+}
+
+// Restrict applies the transpose of piecewise-constant interpolation: coarse
+// is zeroed and every fine entry is summed into its aggregate, in fine-index
+// order (float addition order is fixed, so the result is reproducible). This
+// is the restriction MG's cycle applies to residuals, exported for callers
+// that downsample grid-shaped data (power maps) with the same operator.
+func Restrict(fine []float64, parent []int32, coarse []float64) {
+	for i := range coarse {
+		coarse[i] = 0
+	}
+	for i, p := range parent {
+		coarse[p] += fine[i]
+	}
+}
+
 // buildCoarsening computes the aggregate map onto coarse and the Galerkin
 // scatter target of every fine off-diagonal entry. It reports an error —
 // rather than panicking — when the matrix is not the 7-point stencil of the
@@ -255,15 +291,7 @@ func newMGLevel(m *SymCSR, nx, ny, nl int) *mgLevel {
 // coarse neighbour by construction, so a miss means the caller's geometry
 // and matrix disagree).
 func (lv *mgLevel) buildCoarsening(coarse *mgLevel) error {
-	lv.parent = make([]int32, lv.m.N)
-	for l := 0; l < lv.nl; l++ {
-		for iy := 0; iy < lv.ny; iy++ {
-			for ix := 0; ix < lv.nx; ix++ {
-				i := (l*lv.ny+iy)*lv.nx + ix
-				lv.parent[i] = int32((l*coarse.ny+iy/2)*coarse.nx + ix/2)
-			}
-		}
-	}
+	lv.parent = Aggregate(lv.nx, lv.ny, lv.nl, coarse.nx, coarse.ny)
 	cm := coarse.m
 	lv.offTarget = make([]int32, len(lv.m.Col))
 	for i := 0; i < lv.m.N; i++ {
@@ -435,12 +463,7 @@ func (g *MG) cycle(l int, b, x []float64) {
 	}
 	lv.residual(b, x, lv.r)
 	next := g.levels[l+1]
-	for i := range next.b {
-		next.b[i] = 0
-	}
-	for i, p := range lv.parent {
-		next.b[p] += lv.r[i]
-	}
+	Restrict(lv.r, lv.parent, next.b)
 	g.cycle(l+1, next.b, next.x)
 	if !g.opt.VCycle && next.chol == nil {
 		// W-cycle: a second correction against the coarse residual. The

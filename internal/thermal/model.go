@@ -6,6 +6,7 @@ import (
 
 	"thermplace/internal/fault"
 	"thermplace/internal/geom"
+	"thermplace/internal/sparse"
 	"thermplace/internal/spice"
 )
 
@@ -42,6 +43,17 @@ type Config struct {
 	// NX and NY are the lateral grid resolution. The paper uses 40 x 40,
 	// which puts fewer than ten standard cells under each measuring point.
 	NX, NY int
+	// CoarseFactor, when 2 or larger, downsamples the lateral resolution by
+	// that factor: the operator is assembled and solved directly on a
+	// ceil(NX/f) x ceil(NY/f) grid (never below 2x2). The aggregation is the
+	// same piecewise-constant map the multigrid hierarchy coarsens with
+	// (sparse.Aggregate), so at a power-of-two factor the coarse grid is
+	// exactly an MG level of the full-resolution solve. Power maps may be
+	// supplied either at the full NX x NY resolution — the solver restricts
+	// them (sparse.Restrict, power-conserving) — or pre-binned at the coarse
+	// dims. This is the cheap estimation mode of the adaptive sweep's triage
+	// phase; values 0 and 1 mean full resolution.
+	CoarseFactor int
 	// Stack is the vertical layer stack.
 	Stack Stack
 	// AmbientC is the ambient temperature in degrees Celsius.
@@ -86,6 +98,34 @@ type Config struct {
 // Gauss-Seidel and dense oracle methods always go through package spice.
 func (cfg Config) FastPath() bool { return !cfg.UseSpice && cfg.Solver == spice.MethodCG }
 
+// coarseFactor returns the normalized downsampling factor: 1 for the full
+// resolution (CoarseFactor 0 or 1), the factor itself otherwise.
+func (cfg Config) coarseFactor() int {
+	if cfg.CoarseFactor < 2 {
+		return 1
+	}
+	return cfg.CoarseFactor
+}
+
+// GridDims returns the lateral resolution the system is actually assembled
+// and solved at: NX x NY at full fidelity, ceil(NX/f) x ceil(NY/f) (clamped
+// to at least 2x2) with CoarseFactor f. Everything downstream of the
+// configuration — matrix assembly, the SPICE oracle, result maps — uses
+// these dims, so a coarse solve is simply a solve of a smaller model over
+// the same physical region.
+func (cfg Config) GridDims() (nx, ny int) {
+	f := cfg.coarseFactor()
+	nx = (cfg.NX + f - 1) / f
+	ny = (cfg.NY + f - 1) / f
+	if nx < 2 {
+		nx = 2
+	}
+	if ny < 2 {
+		ny = 2
+	}
+	return nx, ny
+}
+
 // Equal reports whether two configurations describe the same thermal model
 // and solver setup; package flow uses it to decide whether a cached Solver
 // can be reused. The Stats and Inject wiring is deliberately ignored: both
@@ -93,6 +133,7 @@ func (cfg Config) FastPath() bool { return !cfg.UseSpice && cfg.Solver == spice.
 // every solver it builds, not part of the model.
 func (cfg Config) Equal(o Config) bool {
 	if cfg.NX != o.NX || cfg.NY != o.NY ||
+		cfg.coarseFactor() != o.coarseFactor() ||
 		cfg.AmbientC != o.AmbientC ||
 		cfg.HBottom != o.HBottom || cfg.HTop != o.HTop || cfg.HSide != o.HSide ||
 		cfg.Solver != o.Solver || cfg.Tolerance != o.Tolerance ||
@@ -155,6 +196,9 @@ func (cfg Config) validate() error {
 	if cfg.NX <= 1 || cfg.NY <= 1 {
 		return fmt.Errorf("thermal: grid must be at least 2x2, got %dx%d", cfg.NX, cfg.NY)
 	}
+	if cfg.CoarseFactor < 0 {
+		return fmt.Errorf("thermal: negative coarse factor %d", cfg.CoarseFactor)
+	}
 	if len(cfg.Stack) == 0 {
 		return fmt.Errorf("thermal: empty layer stack")
 	}
@@ -180,17 +224,40 @@ const (
 	ambientNode = "amb"
 )
 
+// coarsenPowerMap resolves a power map against the configuration's
+// effective dims: at full fidelity — or when the caller pre-binned the map
+// at the coarse dims — the map is returned as is; a full-resolution map
+// under an active CoarseFactor is restricted onto the coarse grid by
+// aggregate summation (power-conserving, fine-index order, the same
+// piecewise-constant operator the MG hierarchy restricts with). Any other
+// resolution is an error.
+func coarsenPowerMap(powerMap *geom.Grid, cfg Config) (*geom.Grid, error) {
+	nx, ny := cfg.GridDims()
+	if powerMap.NX == nx && powerMap.NY == ny {
+		return powerMap, nil
+	}
+	if powerMap.NX != cfg.NX || powerMap.NY != cfg.NY {
+		return nil, fmt.Errorf("thermal: power map resolution %dx%d matches neither config %dx%d nor its coarse grid %dx%d",
+			powerMap.NX, powerMap.NY, cfg.NX, cfg.NY, nx, ny)
+	}
+	out := geom.NewGrid(nx, ny, powerMap.Region)
+	sparse.Restrict(powerMap.Values(), sparse.Aggregate(cfg.NX, cfg.NY, 1, nx, ny), out.Values())
+	return out, nil
+}
+
 // BuildNetwork constructs the steady-state resistive thermal network for the
 // given power map. The power map must cover the die area (its Region) and
-// hold watts per grid cell; its resolution must match cfg.NX x cfg.NY.
+// hold watts per grid cell; its resolution must match cfg.NX x cfg.NY (or,
+// with an active CoarseFactor, may already be binned at cfg.GridDims()).
 func BuildNetwork(powerMap *geom.Grid, cfg Config) (*spice.Circuit, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if powerMap.NX != cfg.NX || powerMap.NY != cfg.NY {
-		return nil, fmt.Errorf("thermal: power map resolution %dx%d does not match config %dx%d",
-			powerMap.NX, powerMap.NY, cfg.NX, cfg.NY)
+	powerMap, err := coarsenPowerMap(powerMap, cfg)
+	if err != nil {
+		return nil, err
 	}
+	nx, ny := powerMap.NX, powerMap.NY
 	c := spice.NewCircuit()
 	if err := c.AddVoltageSource("amb", ambientNode, cfg.AmbientC); err != nil {
 		return nil, err
@@ -215,15 +282,15 @@ func BuildNetwork(powerMap *geom.Grid, cfg Config) (*spice.Circuit, error) {
 		// Lateral resistances within the layer: R = dx / (k * dy * dz).
 		rLatX := dx / (k * dy * dz)
 		rLatY := dy / (k * dx * dz)
-		for iy := 0; iy < cfg.NY; iy++ {
-			for ix := 0; ix < cfg.NX; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
 				n := nodeName(l, ix, iy)
-				if ix+1 < cfg.NX {
+				if ix+1 < nx {
 					if err := addR(n, nodeName(l, ix+1, iy), rLatX); err != nil {
 						return nil, err
 					}
 				}
-				if iy+1 < cfg.NY {
+				if iy+1 < ny {
 					if err := addR(n, nodeName(l, ix, iy+1), rLatY); err != nil {
 						return nil, err
 					}
@@ -250,17 +317,17 @@ func BuildNetwork(powerMap *geom.Grid, cfg Config) (*spice.Circuit, error) {
 						return nil, err
 					}
 				}
-				if cfg.HSide > 0 && (ix == 0 || ix == cfg.NX-1 || iy == 0 || iy == cfg.NY-1) {
+				if cfg.HSide > 0 && (ix == 0 || ix == nx-1 || iy == 0 || iy == ny-1) {
 					// Side face area differs for x and y faces; use the
 					// matching one per exposed face.
-					if ix == 0 || ix == cfg.NX-1 {
+					if ix == 0 || ix == nx-1 {
 						faceArea := dy * dz
 						r := (dx/2)/(k*faceArea) + 1/(cfg.HSide*faceArea)
 						if err := addR(n, ambientNode, r); err != nil {
 							return nil, err
 						}
 					}
-					if iy == 0 || iy == cfg.NY-1 {
+					if iy == 0 || iy == ny-1 {
 						faceArea := dx * dz
 						r := (dy/2)/(k*faceArea) + 1/(cfg.HSide*faceArea)
 						if err := addR(n, ambientNode, r); err != nil {
@@ -334,15 +401,16 @@ func solveSpice(powerMap *geom.Grid, cfg Config) (*Result, error) {
 		Iterations:     sol.Iterations,
 		SolverResidual: sol.Residual,
 	}
+	nx, ny := cfg.GridDims()
 	powerLayer := cfg.Stack.PowerLayer()
 	res.Layers = make([]*geom.Grid, len(cfg.Stack))
 	for l := range cfg.Stack {
 		if cfg.SurfaceOnly && l != powerLayer {
 			continue
 		}
-		g := geom.NewGrid(cfg.NX, cfg.NY, powerMap.Region)
-		for iy := 0; iy < cfg.NY; iy++ {
-			for ix := 0; ix < cfg.NX; ix++ {
+		g := geom.NewGrid(nx, ny, powerMap.Region)
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
 				g.Set(ix, iy, sol.Voltages[nodeName(l, ix, iy)])
 			}
 		}
